@@ -1,0 +1,121 @@
+// Reproduces Fig. 1's structure (N = 10/12/14 rounds by key length, each
+// block through SubBytes/ShiftRows/MixColumns/AddRoundKey + key expansion)
+// and benchmarks the software golden model plus the 3-stages-per-round
+// pipeline's cycle counts.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "accel/pipeline.h"
+#include "aes/cipher.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace aesifc;
+
+unsigned pipelineLatency(aes::KeySize ks) {
+  Rng rng{1};
+  std::vector<std::uint8_t> key(aes::keyBytes(ks));
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+  accel::RoundKeyRam ram;
+  ram.store(0, aes::expandKey(key, ks), lattice::Conf::bottom(),
+            lattice::Label::publicTrusted());
+  accel::AesPipeline p{aes::numRounds(ks), ram};
+
+  accel::StageSlot s;
+  s.valid = true;
+  s.total_rounds = aes::numRounds(ks);
+  auto out = p.advance(s);  // entry edge: the block lands in stage 0
+  unsigned cycles = 0;      // edges spent traversing the 3N stages
+  while (!out && cycles < 100) {
+    out = p.advance(std::nullopt);
+    ++cycles;
+  }
+  return cycles;
+}
+
+void printFig1() {
+  std::printf("==============================================================\n");
+  std::printf("Reproduction of Fig. 1: AES flow, rounds per key size\n");
+  std::printf("==============================================================\n");
+  std::printf("%-10s %-8s %-12s %-16s\n", "key bits", "N", "round keys",
+              "pipeline cycles");
+  for (const auto ks :
+       {aes::KeySize::Aes128, aes::KeySize::Aes192, aes::KeySize::Aes256}) {
+    std::printf("%-10u %-8u %-12u %-16u\n", aes::keyBytes(ks) * 8,
+                aes::numRounds(ks), aes::numRounds(ks) + 1,
+                pipelineLatency(ks));
+  }
+  std::printf("(3 micro-op stages per round: N=10 gives the paper's 30-cycle"
+              " latency)\n\n");
+}
+
+void BM_EncryptBlock(benchmark::State& state) {
+  const auto ks = static_cast<aes::KeySize>(state.range(0));
+  Rng rng{2};
+  std::vector<std::uint8_t> key(aes::keyBytes(ks));
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+  const auto ek = aes::expandKey(key, ks);
+  aes::Block pt{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes::encryptBlock(pt, ek));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_EncryptBlock)
+    ->Arg(static_cast<int>(aes::KeySize::Aes128))
+    ->Arg(static_cast<int>(aes::KeySize::Aes192))
+    ->Arg(static_cast<int>(aes::KeySize::Aes256));
+
+void BM_DecryptBlock(benchmark::State& state) {
+  Rng rng{3};
+  std::vector<std::uint8_t> key(16);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+  const auto ek = aes::expandKey(key, aes::KeySize::Aes128);
+  aes::Block ct{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes::decryptBlock(ct, ek));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_DecryptBlock);
+
+void BM_KeyExpansion(benchmark::State& state) {
+  const auto ks = static_cast<aes::KeySize>(state.range(0));
+  std::vector<std::uint8_t> key(aes::keyBytes(ks), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes::expandKey(key, ks));
+  }
+}
+BENCHMARK(BM_KeyExpansion)
+    ->Arg(static_cast<int>(aes::KeySize::Aes128))
+    ->Arg(static_cast<int>(aes::KeySize::Aes256));
+
+void BM_PipelineAdvance(benchmark::State& state) {
+  Rng rng{4};
+  std::vector<std::uint8_t> key(16);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+  accel::RoundKeyRam ram;
+  ram.store(0, aes::expandKey(key, aes::KeySize::Aes128),
+            lattice::Conf::bottom(), lattice::Label::publicTrusted());
+  accel::AesPipeline p{10, ram};
+  accel::StageSlot s;
+  s.valid = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.advance(s));
+  }
+  // Each advance is one simulated 2.5 ns cycle of the 30-stage pipeline.
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_PipelineAdvance);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFig1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

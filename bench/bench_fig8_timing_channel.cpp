@@ -1,0 +1,83 @@
+// Reproduces Fig. 8 / Section 3.2.5: the stall covert channel. Alice
+// modulates her receiver readiness with a secret; Eve decodes it from her
+// own completion rate. The baseline leaks ~1 bit per window; the protected
+// design's meet-gated stall (plus overflow buffer) drives the mutual
+// information to ~0. Sweeps the window length to show the channel capacity
+// shape, and statically verifies the gated/ungated stall logic.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "ifc/checker.h"
+#include "rtl/verif_models.h"
+#include "soc/attacks.h"
+
+namespace {
+
+using namespace aesifc;
+using soc::TimingChannelParams;
+
+void printFig8() {
+  std::printf("==============================================================\n");
+  std::printf("Reproduction of Fig. 8 / Sec 3.2.5: stall covert channel\n");
+  std::printf("==============================================================\n");
+  std::printf(
+      "%-10s %-10s %-12s %-10s %-12s %-12s %-12s\n", "design", "window",
+      "MI(bits)", "accuracy", "eve lat avg", "eve lat sd", "stalls/denied");
+
+  for (const unsigned window : {32u, 64u, 128u}) {
+    for (const auto mode :
+         {accel::SecurityMode::Baseline, accel::SecurityMode::Protected}) {
+      TimingChannelParams p;
+      p.window = window;
+      p.secret_bits = 48;
+      const auto r = soc::runTimingChannelAttack(mode, p);
+      std::printf("%-10s %-10u %-12.3f %-10.2f %-12.1f %-12.2f %llu/%llu\n",
+                  mode == accel::SecurityMode::Baseline ? "baseline"
+                                                        : "protected",
+                  window, r.mi_bits, r.accuracy, r.eve_latency.mean,
+                  r.eve_latency.stddev,
+                  static_cast<unsigned long long>(r.stalled_cycles),
+                  static_cast<unsigned long long>(r.denied_stalls));
+    }
+  }
+
+  std::printf("\nStatic verification of the stall logic (Fig. 8):\n");
+  const auto gated = ifc::check(rtl::buildStallPipeline(true));
+  const auto ungated = ifc::check(rtl::buildStallPipeline(false));
+  std::printf("  meet-gated stall:  %s\n",
+              gated.ok() ? "verified clean" : "REJECTED (unexpected)");
+  std::printf("  ungated stall:     %zu timing violation(s) flagged\n",
+              ungated.count(ifc::ViolationKind::TimingViolation));
+  std::printf("\n");
+}
+
+void BM_TimingAttackBaseline(benchmark::State& state) {
+  TimingChannelParams p;
+  p.secret_bits = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        soc::runTimingChannelAttack(accel::SecurityMode::Baseline, p));
+  }
+}
+BENCHMARK(BM_TimingAttackBaseline)->Unit(benchmark::kMillisecond);
+
+void BM_TimingAttackProtected(benchmark::State& state) {
+  TimingChannelParams p;
+  p.secret_bits = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        soc::runTimingChannelAttack(accel::SecurityMode::Protected, p));
+  }
+}
+BENCHMARK(BM_TimingAttackProtected)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFig8();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// The Fig. 2 scenario: multiple cloud tenants (say, SSL endpoints) share one
+// AES accelerator. Demonstrates fine-grained sharing — blocks from all
+// tenants interleaved in the pipeline at once, each carrying its own tag —
+// versus coarse-grained sharing that drains the pipeline between users, and
+// shows that the protected design costs no throughput.
+//
+// Build & run:  ./build/examples/multi_tenant_sharing
+
+#include <cstdio>
+
+#include "soc/workload.h"
+
+using namespace aesifc;
+using accel::AcceleratorConfig;
+using accel::AesAccelerator;
+using accel::SecurityMode;
+
+namespace {
+
+soc::WorkloadResult run(SecurityMode mode, bool coarse, unsigned tenants) {
+  AcceleratorConfig cfg;
+  cfg.mode = mode;
+  cfg.coarse_grained = coarse;
+  AesAccelerator acc{cfg};
+  const auto setup = soc::setupTenants(acc, tenants);
+  soc::WorkloadConfig w;
+  w.blocks_per_user = 384;
+  return soc::runSharedWorkload(acc, setup, w);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Four tenants stream AES-128 traffic through one accelerator.\n");
+  std::printf("Every result is checked against the software golden model.\n\n");
+  std::printf("%-11s %-9s %-11s %-12s %-10s %-10s %-9s\n", "design",
+              "sharing", "blocks", "cycles", "blk/cyc", "Gbps@400", "correct");
+
+  struct Row {
+    SecurityMode mode;
+    bool coarse;
+  };
+  for (const auto& row : {Row{SecurityMode::Baseline, false},
+                          Row{SecurityMode::Protected, false},
+                          Row{SecurityMode::Baseline, true},
+                          Row{SecurityMode::Protected, true}}) {
+    const auto r = run(row.mode, row.coarse, 4);
+    std::printf("%-11s %-9s %-11llu %-12llu %-10.3f %-10.1f %-9s\n",
+                row.mode == SecurityMode::Baseline ? "baseline" : "protected",
+                row.coarse ? "coarse" : "fine",
+                static_cast<unsigned long long>(r.blocks_completed),
+                static_cast<unsigned long long>(r.cycles), r.blocks_per_cycle,
+                r.blocks_per_cycle * 128.0 * 400e6 / 1e9,
+                r.all_correct ? "yes" : "NO");
+  }
+
+  std::printf(
+      "\nTakeaways (matching the paper):\n"
+      " * fine-grained sharing keeps the 30-stage pipeline full: ~1\n"
+      "   block/cycle = ~51.2 Gbps at the prototype's 400 MHz;\n"
+      " * coarse-grained sharing pays a full pipeline drain per user switch;\n"
+      " * the protected design's tags and checkers cost no cycles.\n");
+  return 0;
+}

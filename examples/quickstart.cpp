@@ -1,0 +1,94 @@
+// Quickstart: bring up the protected AES accelerator, register a user,
+// load a key through the tagged scratchpad, and encrypt a message —
+// verifying the hardware results against the software golden model.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "accel/accelerator.h"
+#include "aes/cipher.h"
+#include "aes/modes.h"
+
+using namespace aesifc;
+using accel::AesAccelerator;
+
+int main() {
+  // 1. The accelerator: protected mode, AES-128 (30-stage pipeline).
+  accel::AcceleratorConfig cfg;
+  cfg.mode = accel::SecurityMode::Protected;
+  AesAccelerator acc{cfg};
+
+  // 2. Principals: a supervisor and one user with its own security category.
+  const unsigned sup = acc.addUser(lattice::Principal::supervisor());
+  const unsigned alice = acc.addUser(lattice::Principal::user("alice", 1));
+  (void)sup;
+
+  // 3. Load Alice's key: the arbiter tags two scratchpad cells for her, she
+  //    stores the key halves, and the key is expanded into round-key RAM.
+  const std::vector<std::uint8_t> key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                                         0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                                         0x09, 0xcf, 0x4f, 0x3c};
+  acc.configureKeyCells(alice, 0, 2);
+  for (unsigned c = 0; c < 2; ++c) {
+    std::uint64_t w = 0;
+    for (unsigned b = 0; b < 8; ++b)
+      w |= static_cast<std::uint64_t>(key[8 * c + b]) << (8 * b);
+    if (!acc.writeKeyCell(alice, c, w)) {
+      std::printf("key cell write refused?!\n");
+      return 1;
+    }
+  }
+  if (!acc.loadKey(alice, /*slot=*/1, /*cell_base=*/0, aes::KeySize::Aes128,
+                   lattice::Conf::category(1))) {
+    std::printf("key load refused?!\n");
+    return 1;
+  }
+
+  // 4. Encrypt a message block by block through the pipeline.
+  const std::string message = "Fine-grained sharing with formally verified "
+                              "information flow control!";
+  auto padded = aes::pkcs7Pad(
+      aes::Bytes(message.begin(), message.end()));
+
+  std::vector<aes::Block> results(padded.size() / 16);
+  std::uint64_t req_id = 1;
+  for (std::size_t off = 0; off < padded.size(); off += 16) {
+    accel::BlockRequest req;
+    req.req_id = req_id++;
+    req.user = alice;
+    req.key_slot = 1;
+    std::memcpy(req.data.data(), padded.data() + off, 16);
+    acc.submit(req);
+  }
+  std::size_t done = 0;
+  while (done < results.size()) {
+    acc.tick();
+    while (auto out = acc.fetchOutput(alice)) {
+      results[out->req_id - 1] = out->data;
+      ++done;
+    }
+  }
+
+  // 5. Verify against the golden software model.
+  const auto ek = aes::expandKey(key, aes::KeySize::Aes128);
+  const auto golden = aes::ecbEncrypt(padded, ek);
+  bool ok = true;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (std::memcmp(results[i].data(), golden.data() + 16 * i, 16) != 0)
+      ok = false;
+  }
+
+  std::printf("message blocks encrypted : %zu\n", results.size());
+  std::printf("cycles elapsed           : %llu\n",
+              static_cast<unsigned long long>(acc.cycle()));
+  std::printf("matches software AES     : %s\n", ok ? "yes" : "NO");
+  std::printf("security events          : %zu (expected 0 for legit use)\n",
+              acc.events().size());
+  std::printf("first ciphertext block   : ");
+  for (unsigned i = 0; i < 16; ++i) std::printf("%02x", results[0][i]);
+  std::printf("\n");
+  return ok ? 0 : 1;
+}

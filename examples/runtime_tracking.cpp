@@ -1,0 +1,91 @@
+// Runtime enforcement demo: the paper's related work (GLIFT, RTLIFT) tracks
+// information flows with dedicated logic instead of static types. This
+// example runs the dynamic tracker over the Fig. 8 stall pipeline, shows a
+// leak being caught at runtime, and compares the precise (RTLIFT-style) and
+// conservative (GLIFT-style) propagation modes.
+//
+// Build & run:  ./build/examples/runtime_tracking
+
+#include <cstdio>
+
+#include "ifc/tracker.h"
+#include "rtl/verif_models.h"
+
+using namespace aesifc;
+using ifc::DynamicTracker;
+using ifc::TrackPrecision;
+using lattice::Conf;
+using lattice::Integ;
+using lattice::Label;
+
+namespace {
+
+Label level(unsigned k) { return Label{Conf::level(k), Integ::top()}; }
+
+void drive(DynamicTracker& t, unsigned in_tag, unsigned data, Label l) {
+  t.poke("in_tag", BitVec(2, in_tag), Label::publicTrusted());
+  t.poke("in_data", BitVec(8, data), l);
+  t.poke("req_tag", BitVec(2, 0), Label::publicTrusted());
+  t.poke("stall_req", BitVec(1, 0), Label::publicTrusted());
+  t.step();
+}
+
+}  // namespace
+
+int main() {
+  auto gated = rtl::buildStallPipeline(true);
+
+  std::printf("Dynamic tag tracking over the meet-gated stall pipeline.\n\n");
+
+  {
+    DynamicTracker t{gated, TrackPrecision::Precise};
+    // A level-1 block flows through while the tag says level 1: no events.
+    drive(t, 1, 0xaa, level(1));
+    drive(t, 1, 0xbb, level(1));
+    drive(t, 0, 0x00, level(0));
+    std::printf("well-tagged traffic:   %zu runtime events (expect 0)\n",
+                t.events().size());
+  }
+
+  {
+    DynamicTracker t{gated, TrackPrecision::Precise};
+    // Mis-tagged traffic: level-2 data enters while the tag claims level 1.
+    // The output annotation DL(s2_tag) catches the mismatch when the block
+    // reaches the output.
+    drive(t, 1, 0x77, level(2));
+    drive(t, 1, 0x00, level(1));
+    drive(t, 1, 0x00, level(1));
+    std::printf("mis-tagged traffic:    %zu runtime event(s) (expect >0)\n",
+                t.events().size());
+    for (const auto& e : t.events()) {
+      std::printf("    %s\n", e.toString().c_str());
+    }
+  }
+
+  std::printf("\nPrecision comparison on a mux whose public branch is "
+              "selected:\n");
+  {
+    hdl::Module m{"muxdemo"};
+    const auto c = m.input("c", 1, hdl::LabelTerm::of(Label::publicTrusted()));
+    const auto s = m.input("s", 8, hdl::LabelTerm::of(Label::topTop()));
+    const auto p = m.input("p", 8, hdl::LabelTerm::of(Label::publicTrusted()));
+    const auto o = m.output("o", 8, hdl::LabelTerm::unconstrained());
+    m.assign(o, m.mux(m.read(c), m.read(s), m.read(p)));
+
+    for (const auto prec :
+         {TrackPrecision::Precise, TrackPrecision::Conservative}) {
+      DynamicTracker t{m, prec};
+      t.poke("c", BitVec(1, 0), Label::publicTrusted());
+      t.poke("s", BitVec(8, 0x42), Label::topTop());
+      t.poke("p", BitVec(8, 0x01), Label::publicTrusted());
+      t.evalComb();
+      std::printf("  %-14s output label = %s\n",
+                  prec == TrackPrecision::Precise ? "RTLIFT-style:"
+                                                  : "GLIFT-style:",
+                  t.label("o").toString().c_str());
+    }
+    std::printf("  (precise tracking keeps the untaken secret branch out of "
+                "the label)\n");
+  }
+  return 0;
+}

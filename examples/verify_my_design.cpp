@@ -1,0 +1,78 @@
+// Design-time verification walkthrough: author a small security-typed
+// module the way the paper's Fig. 3 does in ChiselFlow, run the static IFC
+// checker, read the label errors, and fix the design. Shows the full
+// methodology loop: annotate -> check -> fix -> re-check.
+//
+// Build & run:  ./build/examples/verify_my_design
+
+#include <cstdio>
+
+#include "hdl/ir.h"
+#include "ifc/checker.h"
+#include "rtl/verif_models.h"
+
+using namespace aesifc;
+using hdl::LabelTerm;
+using hdl::Module;
+using lattice::Conf;
+using lattice::Integ;
+using lattice::Label;
+
+namespace {
+
+// A two-user mailbox: each user owns one slot; a `sel` input picks which
+// slot the shared data port addresses (the same shape as Fig. 3's cache
+// tags, with confidentiality instead of integrity).
+Module buildMailbox(bool with_dependent_labels) {
+  Module m{"mailbox"};
+  const Label pub = Label::publicTrusted();
+  const Label alice{Conf::category(1), Integ::top()};
+  const Label eve{Conf::category(2), Integ::top()};
+
+  const auto sel = m.input("sel", 1, LabelTerm::of(pub));
+  const auto we = m.input("we", 1, LabelTerm::of(pub));
+  // The naive design types the shared port with one static label; the right
+  // design makes it switch with `sel`.
+  const auto port_label = with_dependent_labels
+                              ? LabelTerm::dependent(sel, {alice, eve})
+                              : LabelTerm::of(pub);
+  const auto din = m.input("din", 32, port_label);
+  const auto dout = m.output("dout", 32, port_label);
+
+  const auto slot_a = m.reg("slot_alice", 32, LabelTerm::of(alice));
+  const auto slot_e = m.reg("slot_eve", 32, LabelTerm::of(eve));
+
+  const auto sel_is_a = m.eq(m.read(sel), m.c(1, 0));
+  m.regWrite(slot_a, m.read(din), m.band(m.read(we), sel_is_a));
+  m.regWrite(slot_e, m.read(din),
+             m.band(m.read(we), m.eq(m.read(sel), m.c(1, 1))));
+  m.assign(dout, m.mux(sel_is_a, m.read(slot_a), m.read(slot_e)));
+  return m;
+}
+
+void report(const char* title, const Module& m) {
+  const auto r = ifc::check(m);
+  std::printf("--- %s\n%s\n", title, r.toString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Step 1: a shared mailbox port typed with a single static "
+              "label.\nThe checker rejects it — the port would mix two "
+              "users' levels:\n\n");
+  report("mailbox with static port label", buildMailbox(false));
+
+  std::printf(
+      "Step 2: retype the port with a dependent label DL(sel), exactly like "
+      "Fig. 3's\ncache tags. Same hardware, now provably isolated:\n\n");
+  report("mailbox with dependent port label", buildMailbox(true));
+
+  std::printf(
+      "Step 3: the library ships the paper's own verification targets; "
+      "re-run them:\n\n");
+  report("Fig. 3 cache tags", rtl::buildCacheTags(false));
+  report("Fig. 8 meet-gated stall", rtl::buildStallPipeline(true));
+  report("Fig. 5 tagged scratchpad", rtl::buildTaggedScratchpad(true));
+  return 0;
+}

@@ -1,0 +1,384 @@
+#include "accel/accelerator.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "lattice/downgrade.h"
+
+namespace aesifc::accel {
+
+AesAccelerator::AesAccelerator(AcceleratorConfig cfg)
+    : cfg_{cfg},
+      scratchpad_{cfg.mode},
+      config_regs_{cfg.mode},
+      pipeline_{cfg.max_rounds, round_keys_} {}
+
+unsigned AesAccelerator::addUser(Principal p) {
+  users_.push_back(std::move(p));
+  input_queues_.emplace_back();
+  output_queues_.emplace_back();
+  receiver_ready_.push_back(true);
+  return static_cast<unsigned>(users_.size() - 1);
+}
+
+const Principal& AesAccelerator::principal(unsigned user) const {
+  return users_.at(user);
+}
+
+void AesAccelerator::recordEvent(SecurityEventKind kind, unsigned user,
+                                 std::string detail) {
+  events_.push_back({kind, cycle_, user, std::move(detail)});
+}
+
+void AesAccelerator::configureKeyCells(unsigned user, unsigned base,
+                                       unsigned count) {
+  scratchpad_.configureCells(base, count, users_.at(user).authority);
+}
+
+bool AesAccelerator::writeKeyCell(unsigned user, unsigned cell,
+                                  std::uint64_t value) {
+  const bool ok = scratchpad_.writeCell(cell, value, users_.at(user).authority);
+  if (!ok) {
+    recordEvent(SecurityEventKind::ScratchpadWriteBlocked, user,
+                "write to cell " + std::to_string(cell) + " blocked: " +
+                    users_.at(user).authority.toString() + " does not flow to " +
+                    (cell < kScratchpadCells
+                         ? scratchpad_.cellLabel(cell).toString()
+                         : std::string("<oob>")));
+  }
+  return ok;
+}
+
+bool AesAccelerator::loadKey(unsigned user, unsigned slot, unsigned cell_base,
+                             aes::KeySize ks, lattice::Conf key_conf) {
+  const unsigned cells = aes::keyBytes(ks) / 8;
+  std::vector<std::uint8_t> key_bytes;
+  key_bytes.reserve(aes::keyBytes(ks));
+  const Label& requester = users_.at(user).authority;
+  for (unsigned i = 0; i < cells; ++i) {
+    const auto v = scratchpad_.readCell(cell_base + i, requester);
+    if (!v.has_value()) {
+      recordEvent(SecurityEventKind::ScratchpadReadBlocked, user,
+                  "key expansion read of cell " +
+                      std::to_string(cell_base + i) + " blocked");
+      return false;
+    }
+    for (unsigned b = 0; b < 8; ++b) {
+      key_bytes.push_back(static_cast<std::uint8_t>(*v >> (8 * b)));
+    }
+  }
+  round_keys_.store(slot, aes::expandKey(key_bytes, ks), key_conf, requester);
+  return true;
+}
+
+bool AesAccelerator::keySlotBusy(unsigned slot) const {
+  for (unsigned i = 0; i < pipeline_.depth(); ++i) {
+    const auto& s = pipeline_.stage(i);
+    if (s.valid && s.key_slot == slot) return true;
+  }
+  return false;
+}
+
+bool AesAccelerator::clearKey(unsigned user, unsigned slot) {
+  if (!round_keys_.valid(slot)) return false;
+  // Refuse while the slot is referenced by in-flight work.
+  if (keySlotBusy(slot)) {
+    recordEvent(SecurityEventKind::KeySlotBlocked, user,
+                "clearKey refused: slot " + std::to_string(slot) +
+                    " has blocks in flight");
+    return false;
+  }
+  const Label& owner = round_keys_.slot(slot).owner;
+  const Label& requester = users_.at(user).authority;
+  if (cfg_.mode == SecurityMode::Protected &&
+      !requester.i.flowsTo(owner.i)) {
+    recordEvent(SecurityEventKind::KeySlotBlocked, user,
+                "clearKey refused: " + requester.i.toString() +
+                    " does not dominate owner integrity " +
+                    owner.i.toString());
+    return false;
+  }
+  round_keys_.clear(slot);
+  return true;
+}
+
+std::optional<lattice::HwTag> AesAccelerator::stageHwTag(unsigned stage) const {
+  const StageSlot& s = pipeline_.stage(stage);
+  if (!s.valid) return std::nullopt;
+  static const lattice::TagCodec codec = lattice::TagCodec::userCategories();
+  return codec.encode(s.tag);
+}
+
+std::uint32_t AesAccelerator::readConfig(const std::string& name) const {
+  return config_regs_.read(name);
+}
+
+bool AesAccelerator::writeConfig(unsigned user, const std::string& name,
+                                 std::uint32_t v) {
+  const bool ok = config_regs_.write(name, v, users_.at(user).authority);
+  if (!ok) {
+    recordEvent(SecurityEventKind::ConfigWriteBlocked, user,
+                "write of '" + name + "' requires full integrity; user has " +
+                    users_.at(user).authority.i.toString());
+  }
+  return ok;
+}
+
+std::optional<aes::Block> AesAccelerator::debugReadStage(unsigned user,
+                                                         unsigned stage) {
+  if (config_regs_.read("debug_enable") == 0) {
+    recordEvent(SecurityEventKind::DebugReadBlocked, user,
+                "debug peripheral disabled");
+    return std::nullopt;
+  }
+  const StageSlot& s = pipeline_.stage(stage);
+  if (!s.valid) return std::nullopt;
+  // A debug read is a confidentiality flow from the stage register to the
+  // reader (it does not assert trust in the data).
+  if (cfg_.mode == SecurityMode::Protected &&
+      !s.tag.c.flowsTo(users_.at(user).authority.c)) {
+    recordEvent(SecurityEventKind::DebugReadBlocked, user,
+                "stage " + std::to_string(stage) + " holds " +
+                    s.tag.toString() + " data; reader is " +
+                    users_.at(user).authority.toString());
+    return std::nullopt;
+  }
+  return aes::stateToBlock(s.state);
+}
+
+bool AesAccelerator::submit(BlockRequest req) {
+  if (req.user >= users_.size()) return false;
+  if (!round_keys_.valid(req.key_slot)) {
+    recordEvent(SecurityEventKind::KeySlotBlocked, req.user,
+                "submit with invalid key slot " + std::to_string(req.key_slot));
+    return false;
+  }
+  if (round_keys_.rounds(req.key_slot) > pipeline_.maxRounds()) {
+    recordEvent(SecurityEventKind::KeySlotBlocked, req.user,
+                "key needs more rounds than the pipeline supports");
+    return false;
+  }
+  StageSlot slot;
+  slot.valid = true;
+  slot.state = aes::blockToState(req.data);
+  slot.key_slot = req.key_slot;
+  slot.total_rounds = round_keys_.rounds(req.key_slot);
+  slot.decrypt = req.decrypt;
+  slot.req_id = req.req_id;
+  slot.user = req.user;
+  // The tag carried through the pipeline: the user's confidentiality joined
+  // with the key's confidentiality (the data now depends on both), at the
+  // user's integrity.
+  const Label& u = users_.at(req.user).authority;
+  slot.tag = Label{u.c.join(round_keys_.slot(req.key_slot).key_conf), u.i};
+  input_queues_[req.user].push_back(std::move(slot));
+  return true;
+}
+
+void AesAccelerator::setReceiverReady(unsigned user, bool ready) {
+  receiver_ready_.at(user) = ready;
+}
+
+std::optional<BlockResponse> AesAccelerator::fetchOutput(unsigned user) {
+  auto& q = output_queues_.at(user);
+  if (q.empty()) return std::nullopt;
+  BlockResponse r = std::move(q.front());
+  q.pop_front();
+  return r;
+}
+
+const BlockResponse* AesAccelerator::peekOutput(unsigned user) const {
+  const auto& q = output_queues_.at(user);
+  return q.empty() ? nullptr : &q.front();
+}
+
+std::size_t AesAccelerator::pendingInputs(unsigned user) const {
+  return input_queues_.at(user).size();
+}
+
+std::size_t AesAccelerator::pendingOutputs(unsigned user) const {
+  return output_queues_.at(user).size();
+}
+
+std::optional<StageSlot> AesAccelerator::arbiterPick() {
+  const unsigned n = static_cast<unsigned>(users_.size());
+  if (n == 0) return std::nullopt;
+
+  if (cfg_.coarse_grained) {
+    // Coarse-grained sharing: one user owns the whole pipeline; switching
+    // requires the pipeline to drain first (the performance cost the paper
+    // motivates fine-grained sharing with).
+    if (coarse_active_ && !input_queues_[coarse_owner_].empty()) {
+      auto s = std::move(input_queues_[coarse_owner_].front());
+      input_queues_[coarse_owner_].pop_front();
+      return s;
+    }
+    if (coarse_active_ && input_queues_[coarse_owner_].empty() &&
+        !pipeline_.anyValid()) {
+      coarse_active_ = false;  // drained; allow a switch
+    }
+    if (!coarse_active_) {
+      for (unsigned k = 0; k < n; ++k) {
+        const unsigned u = (coarse_owner_ + 1 + k) % n;
+        if (!input_queues_[u].empty()) {
+          if (pipeline_.anyValid()) return std::nullopt;  // still draining
+          coarse_owner_ = u;
+          coarse_active_ = true;
+          auto s = std::move(input_queues_[u].front());
+          input_queues_[u].pop_front();
+          return s;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Fine-grained: round-robin, one block per cycle from any user.
+  for (unsigned k = 0; k < n; ++k) {
+    const unsigned u = (rr_next_ + k) % n;
+    if (!input_queues_[u].empty()) {
+      rr_next_ = (u + 1) % n;
+      auto s = std::move(input_queues_[u].front());
+      input_queues_[u].pop_front();
+      return s;
+    }
+  }
+  return std::nullopt;
+}
+
+void AesAccelerator::routeCompleted(StageSlot slot, bool to_buffer) {
+  BlockResponse resp;
+  resp.req_id = slot.req_id;
+  resp.user = slot.user;
+  resp.data = aes::stateToBlock(slot.state);
+  resp.accept_cycle = slot.accept_cycle;
+  resp.complete_cycle = cycle_;
+
+  if (cfg_.mode == SecurityMode::Protected) {
+    // Nonmalleable declassification at the pipeline exit (Fig. 7): the
+    // result carries (ck join cu, iu); releasing it to the output port
+    // declassifies to (bottom, iu), performed by the requesting user. With
+    // an authorized key ck <=C r(iu) and this succeeds; with the master key
+    // (ck = top) only the supervisor passes (Section 3.2.2).
+    const Label from = slot.tag;
+    const Label to{lattice::Conf::bottom(), from.i};
+    const auto decision =
+        lattice::checkDeclassify(from, to, users_.at(slot.user));
+    if (!decision.allowed) {
+      recordEvent(SecurityEventKind::DeclassifyRejected, slot.user,
+                  decision.reason);
+      ++stats_.suppressed;
+      resp.suppressed = true;
+      resp.data = aes::Block{};  // nothing is released
+      output_queues_[slot.user].push_back(std::move(resp));
+      return;
+    }
+  }
+
+  // Per-user ordering: if this user already has blocks waiting in the
+  // overflow buffer, later completions must queue behind them even when the
+  // receiver is ready again.
+  bool behind_buffered = false;
+  for (const auto& p : overflow_buffer_) {
+    if (p.resp.user == resp.user) {
+      behind_buffered = true;
+      break;
+    }
+  }
+
+  if (to_buffer || behind_buffered) {
+    if (overflow_buffer_.size() >= cfg_.out_buffer_depth) {
+      recordEvent(SecurityEventKind::OutputBufferOverflow, slot.user,
+                  "overflow buffer full; block dropped");
+      ++stats_.dropped;
+      return;
+    }
+    ++stats_.buffered;
+    overflow_buffer_.push_back({std::move(resp), slot.tag});
+    return;
+  }
+  ++stats_.completed;
+  output_queues_[resp.user].push_back(std::move(resp));
+}
+
+void AesAccelerator::drainBuffer() {
+  // Deliver the oldest entry whose receiver is ready (one per cycle);
+  // per-user order is preserved because entries of the same user stay in
+  // FIFO order.
+  for (auto it = overflow_buffer_.begin(); it != overflow_buffer_.end(); ++it) {
+    if (receiver_ready_.at(it->resp.user)) {
+      it->resp.complete_cycle = cycle_;
+      ++stats_.completed;
+      output_queues_[it->resp.user].push_back(std::move(it->resp));
+      overflow_buffer_.erase(it);
+      return;
+    }
+  }
+}
+
+void AesAccelerator::tick() {
+  bool stall = false;
+  bool to_buffer = false;
+
+  const StageSlot& fin = pipeline_.finalStage();
+  if (fin.valid && !receiver_ready_.at(fin.user)) {
+    if (cfg_.mode == SecurityMode::Baseline) {
+      // Unprotected design: the whole pipeline stalls — the covert timing
+      // channel of Section 3.2.5.
+      stall = true;
+    } else {
+      // Fig. 8: a stall request is honored only when the requester's
+      // confidentiality flows to the meet of all in-flight stage tags, i.e.
+      // when no stage holds lower-confidentiality data that could observe
+      // the delay. We additionally fold in the tags of blocks waiting at
+      // the input (a granted stall delays their acceptance, which their
+      // owners can observe) — a strengthening of the paper's rule needed to
+      // close the acceptance-delay side of the channel.
+      lattice::Conf meet = pipeline_.meetConf();
+      if (cfg_.meet_includes_inputs) {
+        for (const auto& q : input_queues_) {
+          if (!q.empty()) meet = meet.meet(q.front().tag.c);
+        }
+      }
+      if (users_.at(fin.user).authority.c.flowsTo(meet)) {
+        stall = true;
+      } else {
+        ++stats_.denied_stalls;
+        recordEvent(SecurityEventKind::StallDenied, fin.user,
+                    "stall request " + users_.at(fin.user).authority.c.toString() +
+                        " does not flow to pipeline meet " + meet.toString());
+        to_buffer = true;
+      }
+    }
+  }
+
+  if (stall) {
+    ++stats_.stalled_cycles;
+  } else {
+    std::optional<StageSlot> input = arbiterPick();
+    if (input.has_value()) {
+      input->accept_cycle = cycle_;
+      ++stats_.accepted;
+    }
+    auto completed = pipeline_.advance(std::move(input));
+    if (completed.has_value()) {
+      routeCompleted(std::move(*completed), to_buffer);
+    }
+  }
+
+  drainBuffer();
+  ++cycle_;
+}
+
+void AesAccelerator::run(unsigned cycles) {
+  for (unsigned i = 0; i < cycles; ++i) tick();
+}
+
+std::size_t AesAccelerator::eventCount(SecurityEventKind k) const {
+  std::size_t n = 0;
+  for (const auto& e : events_)
+    if (e.kind == k) ++n;
+  return n;
+}
+
+}  // namespace aesifc::accel

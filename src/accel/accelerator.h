@@ -1,0 +1,157 @@
+#pragma once
+// Top-level accelerator (Fig. 4): AXI-like host interface with per-user
+// queues, arbiter, key scratchpad + round-key RAM, configuration registers,
+// debug peripheral, the pipelined AES datapath, and — in Protected mode —
+// the runtime enforcement the paper adds: per-stage security tags, tag
+// checks on the scratchpad / debug port / config registers, the meet-gated
+// stall rule with an overflow output buffer (Fig. 8), and nonmalleable
+// declassification of ciphertext at the pipeline exit (Sections 3.2.1-2).
+//
+// The same class implements both the unprotected baseline and the protected
+// design (the paper derives the protected design from the baseline with a
+// ~70-line delta; here the delta is the SecurityMode checks).
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accel/config_regs.h"
+#include "accel/key_store.h"
+#include "accel/pipeline.h"
+#include "accel/types.h"
+#include "lattice/tag.h"
+
+namespace aesifc::accel {
+
+struct AcceleratorConfig {
+  SecurityMode mode = SecurityMode::Protected;
+  unsigned max_rounds = 10;        // 10 => 30-stage AES-128 pipeline
+  unsigned out_buffer_depth = 32;  // protected-mode overflow buffer
+  bool coarse_grained = false;     // drain pipeline between users (Section 1)
+  // Fold the tags of blocks waiting at the input into the Fig. 8 stall
+  // meet (a granted stall also delays their acceptance). True is our
+  // strengthened rule; false is the paper's stage-only meet — kept as an
+  // ablation knob that re-opens an acceptance-delay side channel
+  // (see bench_ablation).
+  bool meet_includes_inputs = true;
+};
+
+class AesAccelerator {
+ public:
+  explicit AesAccelerator(AcceleratorConfig cfg);
+
+  SecurityMode mode() const { return cfg_.mode; }
+  const AcceleratorConfig& config() const { return cfg_; }
+
+  // --- Users ---------------------------------------------------------------
+  // Registers a principal; returns its user id. The supervisor should be
+  // registered like any other user (with Principal::supervisor()).
+  unsigned addUser(Principal p);
+  const Principal& principal(unsigned user) const;
+
+  // --- Key path (Fig. 5) ----------------------------------------------------
+  // Arbiter-side cell allocation: retags `count` cells at `base` with the
+  // user's label before the user stores its key.
+  void configureKeyCells(unsigned user, unsigned base, unsigned count);
+  // One 64-bit store into the scratchpad; tag-checked in Protected mode.
+  bool writeKeyCell(unsigned user, unsigned cell, std::uint64_t value);
+  // Expand the key material in cells [base, base + keyBytes/8) into a
+  // round-key RAM slot. `key_conf` is the confidentiality of the key itself
+  // (ck); pass Conf::top() for the master key.
+  bool loadKey(unsigned user, unsigned slot, unsigned cell_base,
+               aes::KeySize ks, lattice::Conf key_conf);
+
+  // True while any in-flight pipeline block references `slot` (key updates
+  // and zeroization must wait for this to clear).
+  bool keySlotBusy(unsigned slot) const;
+
+  // Key zeroization: destroys a round-key slot. A destructive write, so it
+  // requires the requester's integrity to dominate the owner's (the owner
+  // itself or the supervisor); refused while blocks using the slot are
+  // still in flight. Baseline mode skips the integrity check.
+  bool clearKey(unsigned user, unsigned slot);
+
+  const KeyScratchpad& scratchpad() const { return scratchpad_; }
+  const RoundKeyRam& roundKeys() const { return round_keys_; }
+
+  // The 8-bit hardware tag (4 conf + 4 integ, Section 4) of a pipeline
+  // stage under the SoC palette; nullopt if the stage is empty or its label
+  // is outside the palette.
+  std::optional<lattice::HwTag> stageHwTag(unsigned stage) const;
+
+  // --- Config registers (Section 3.2.4) --------------------------------------
+  std::uint32_t readConfig(const std::string& name) const;
+  bool writeConfig(unsigned user, const std::string& name, std::uint32_t v);
+
+  // --- Debug peripheral (Section 3.1, attack of [10]) -------------------------
+  // Reads the raw state held in pipeline stage `stage`. Requires
+  // debug_enable; tag-checked against the reader in Protected mode.
+  std::optional<aes::Block> debugReadStage(unsigned user, unsigned stage);
+
+  // --- Data path --------------------------------------------------------------
+  // Enqueue one block. Returns false if the key slot is unusable (invalid,
+  // or needs more rounds than the pipeline has).
+  bool submit(BlockRequest req);
+  void setReceiverReady(unsigned user, bool ready);
+  std::optional<BlockResponse> fetchOutput(unsigned user);
+  // Head of the user's output queue without consuming it (the MMIO window's
+  // DATA_OUT registers mirror this).
+  const BlockResponse* peekOutput(unsigned user) const;
+  std::size_t pendingInputs(unsigned user) const;
+  std::size_t pendingOutputs(unsigned user) const;
+
+  // --- Clock -----------------------------------------------------------------
+  void tick();
+  void run(unsigned cycles);
+  std::uint64_t cycle() const { return cycle_; }
+  const AesPipeline& pipeline() const { return pipeline_; }
+
+  // --- Telemetry ----------------------------------------------------------
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t completed = 0;   // delivered to an output queue
+    std::uint64_t suppressed = 0;  // declassification refused
+    std::uint64_t stalled_cycles = 0;
+    std::uint64_t denied_stalls = 0;
+    std::uint64_t buffered = 0;
+    std::uint64_t dropped = 0;  // overflow buffer full
+  };
+  const Stats& stats() const { return stats_; }
+  const std::vector<SecurityEvent>& events() const { return events_; }
+  std::size_t eventCount(SecurityEventKind k) const;
+
+ private:
+  struct PendingOutput {
+    BlockResponse resp;
+    Label tag;
+  };
+
+  void recordEvent(SecurityEventKind kind, unsigned user, std::string detail);
+  std::optional<StageSlot> arbiterPick();
+  void routeCompleted(StageSlot slot, bool to_buffer);
+  void drainBuffer();
+
+  AcceleratorConfig cfg_;
+  std::vector<Principal> users_;
+  KeyScratchpad scratchpad_;
+  RoundKeyRam round_keys_;
+  ConfigRegisters config_regs_;
+  AesPipeline pipeline_;
+
+  std::vector<std::deque<StageSlot>> input_queues_;
+  std::vector<std::deque<BlockResponse>> output_queues_;
+  std::vector<bool> receiver_ready_;
+  std::deque<PendingOutput> overflow_buffer_;
+
+  unsigned rr_next_ = 0;      // round-robin pointer
+  unsigned coarse_owner_ = 0; // current owner in coarse-grained mode
+  bool coarse_active_ = false;
+
+  std::uint64_t cycle_ = 0;
+  Stats stats_;
+  std::vector<SecurityEvent> events_;
+};
+
+}  // namespace aesifc::accel

@@ -1,0 +1,38 @@
+#include "accel/config_regs.h"
+
+#include <stdexcept>
+
+namespace aesifc::accel {
+
+ConfigRegisters::ConfigRegisters(SecurityMode mode) : mode_{mode} {
+  // Register map of the prototype.
+  regs_["debug_enable"] = 0;      // debug peripheral gate
+  regs_["arbiter_mode"] = 0;      // 0 = fine-grained RR, 1 = coarse-grained
+  regs_["out_buf_depth"] = 32;    // overflow buffer high-water mark
+  regs_["version"] = 0x20190602;  // read-only identification
+}
+
+std::uint32_t ConfigRegisters::read(const std::string& name) const {
+  auto it = regs_.find(name);
+  if (it == regs_.end())
+    throw std::out_of_range("ConfigRegisters: no register '" + name + "'");
+  return it->second;
+}
+
+bool ConfigRegisters::write(const std::string& name, std::uint32_t value,
+                            const Label& writer) {
+  auto it = regs_.find(name);
+  if (it == regs_.end())
+    throw std::out_of_range("ConfigRegisters: no register '" + name + "'");
+  // A write asserts the register's full (top) integrity, so only a
+  // full-integrity principal may perform it. Confidentiality is not
+  // checked: config values are public by construction, and the writer
+  // choosing a public value does not declassify its secrets.
+  if (mode_ == SecurityMode::Protected && !writer.i.flowsTo(label().i)) {
+    return false;
+  }
+  it->second = value;
+  return true;
+}
+
+}  // namespace aesifc::accel

@@ -1,0 +1,40 @@
+#pragma once
+// Configuration registers (Section 3.2.4). Labeled (bottom, top): readable
+// by every user, writable only by a fully trusted principal. Baseline mode
+// performs no integrity check on writes.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "accel/types.h"
+
+namespace aesifc::accel {
+
+class ConfigRegisters {
+ public:
+  explicit ConfigRegisters(SecurityMode mode);
+
+  // Any user may read (values are public).
+  std::uint32_t read(const std::string& name) const;
+
+  // Returns false (and leaves the register unchanged) when the writer lacks
+  // full integrity in Protected mode.
+  bool write(const std::string& name, std::uint32_t value,
+             const Label& writer);
+
+  bool exists(const std::string& name) const {
+    return regs_.count(name) != 0;
+  }
+
+  static Label label() {
+    return Label{lattice::Conf::bottom(), lattice::Integ::top()};
+  }
+
+ private:
+  SecurityMode mode_;
+  std::map<std::string, std::uint32_t> regs_;
+};
+
+}  // namespace aesifc::accel

@@ -1,0 +1,188 @@
+#include "accel/driver.h"
+
+#include <cstring>
+#include <map>
+
+namespace aesifc::accel {
+
+namespace {
+
+constexpr unsigned kTimeoutCycles = 4096;
+
+aes::Block loadBlock(const aes::Bytes& b, std::size_t off) {
+  aes::Block out{};
+  std::memcpy(out.data(), b.data() + off, 16);
+  return out;
+}
+
+void storeBlock(aes::Bytes& b, std::size_t off, const aes::Block& blk) {
+  std::memcpy(b.data() + off, blk.data(), 16);
+}
+
+aes::Block xorBlocks(aes::Block a, const aes::Block& b) {
+  for (unsigned i = 0; i < 16; ++i) a[i] ^= b[i];
+  return a;
+}
+
+void incrementCounter(aes::Block& ctr) {
+  for (int i = 15; i >= 8; --i) {
+    if (++ctr[static_cast<unsigned>(i)] != 0) break;
+  }
+}
+
+}  // namespace
+
+bool loadKeyBytes(AesAccelerator& acc, unsigned user, unsigned slot,
+                  unsigned cell_base, const std::vector<std::uint8_t>& key,
+                  aes::KeySize ks, lattice::Conf key_conf) {
+  if (key.size() != aes::keyBytes(ks)) return false;
+  const unsigned cells = aes::keyBytes(ks) / 8;
+  acc.configureKeyCells(user, cell_base, cells);
+  for (unsigned c = 0; c < cells; ++c) {
+    std::uint64_t w = 0;
+    for (unsigned b = 0; b < 8; ++b)
+      w |= static_cast<std::uint64_t>(key[8 * c + b]) << (8 * b);
+    if (!acc.writeKeyCell(user, cell_base + c, w)) return false;
+  }
+  return acc.loadKey(user, slot, cell_base, ks, key_conf);
+}
+
+bool loadKey128(AesAccelerator& acc, unsigned user, unsigned slot,
+                unsigned cell_base, const std::vector<std::uint8_t>& key,
+                lattice::Conf key_conf) {
+  return loadKeyBytes(acc, user, slot, cell_base, key, aes::KeySize::Aes128,
+                      key_conf);
+}
+
+AccelSession::AccelSession(AesAccelerator& acc, unsigned user,
+                           unsigned key_slot)
+    : acc_{acc}, user_{user}, key_slot_{key_slot} {}
+
+std::optional<std::vector<aes::Block>> AccelSession::runBatch(
+    const std::vector<aes::Block>& blocks, bool decrypt) {
+  const std::uint64_t start_cycle = acc_.cycle();
+  std::map<std::uint64_t, std::size_t> order;  // req_id -> index
+  std::vector<aes::Block> out(blocks.size());
+  std::size_t submitted = 0;
+  std::size_t done = 0;
+  bool suppressed = false;
+
+  while (done < blocks.size()) {
+    if (submitted < blocks.size()) {
+      BlockRequest req;
+      req.req_id = next_req_++;
+      req.user = user_;
+      req.key_slot = key_slot_;
+      req.decrypt = decrypt;
+      req.data = blocks[submitted];
+      if (acc_.submit(req)) {
+        order[req.req_id] = submitted;
+        ++submitted;
+      }
+    }
+    acc_.tick();
+    while (auto resp = acc_.fetchOutput(user_)) {
+      auto it = order.find(resp->req_id);
+      if (it == order.end()) continue;
+      if (resp->suppressed) suppressed = true;
+      out[it->second] = resp->data;
+      ++done;
+    }
+    if (acc_.cycle() - start_cycle > kTimeoutCycles + blocks.size()) {
+      cycles_used_ += acc_.cycle() - start_cycle;
+      return std::nullopt;  // device wedged (e.g. permanently stalled)
+    }
+  }
+  cycles_used_ += acc_.cycle() - start_cycle;
+  if (suppressed) return std::nullopt;
+  return out;
+}
+
+std::optional<aes::Block> AccelSession::encryptBlock(const aes::Block& pt) {
+  auto r = runBatch({pt}, false);
+  if (!r) return std::nullopt;
+  return (*r)[0];
+}
+
+std::optional<aes::Block> AccelSession::decryptBlock(const aes::Block& ct) {
+  auto r = runBatch({ct}, true);
+  if (!r) return std::nullopt;
+  return (*r)[0];
+}
+
+std::optional<aes::Bytes> AccelSession::ecbEncrypt(const aes::Bytes& data) {
+  if (data.size() % 16 != 0) return std::nullopt;
+  std::vector<aes::Block> blocks(data.size() / 16);
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    blocks[i] = loadBlock(data, 16 * i);
+  auto r = runBatch(blocks, false);
+  if (!r) return std::nullopt;
+  aes::Bytes out(data.size());
+  for (std::size_t i = 0; i < r->size(); ++i) storeBlock(out, 16 * i, (*r)[i]);
+  return out;
+}
+
+std::optional<aes::Bytes> AccelSession::ecbDecrypt(const aes::Bytes& data) {
+  if (data.size() % 16 != 0) return std::nullopt;
+  std::vector<aes::Block> blocks(data.size() / 16);
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    blocks[i] = loadBlock(data, 16 * i);
+  auto r = runBatch(blocks, true);
+  if (!r) return std::nullopt;
+  aes::Bytes out(data.size());
+  for (std::size_t i = 0; i < r->size(); ++i) storeBlock(out, 16 * i, (*r)[i]);
+  return out;
+}
+
+std::optional<aes::Bytes> AccelSession::ctrCrypt(const aes::Bytes& data,
+                                                 const aes::Iv& nonce) {
+  const std::size_t nblocks = (data.size() + 15) / 16;
+  std::vector<aes::Block> counters(nblocks);
+  aes::Block ctr = nonce;
+  for (auto& c : counters) {
+    c = ctr;
+    incrementCounter(ctr);
+  }
+  auto ks = runBatch(counters, false);  // keystream, fully pipelined
+  if (!ks) return std::nullopt;
+  aes::Bytes out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = data[i] ^ (*ks)[i / 16][i % 16];
+  }
+  return out;
+}
+
+std::optional<aes::Bytes> AccelSession::cbcDecrypt(const aes::Bytes& data,
+                                                   const aes::Iv& iv) {
+  if (data.size() % 16 != 0 || data.empty()) return std::nullopt;
+  std::vector<aes::Block> blocks(data.size() / 16);
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    blocks[i] = loadBlock(data, 16 * i);
+  auto r = runBatch(blocks, true);  // all blocks decrypt in parallel
+  if (!r) return std::nullopt;
+  aes::Bytes out(data.size());
+  aes::Block prev = iv;
+  for (std::size_t i = 0; i < r->size(); ++i) {
+    storeBlock(out, 16 * i, xorBlocks((*r)[i], prev));
+    prev = blocks[i];
+  }
+  return out;
+}
+
+std::optional<aes::Bytes> AccelSession::cbcEncrypt(const aes::Bytes& data,
+                                                   const aes::Iv& iv) {
+  if (data.size() % 16 != 0) return std::nullopt;
+  aes::Bytes out(data.size());
+  aes::Block prev = iv;
+  // Chained: each block must wait for the previous ciphertext — the
+  // pipelined engine degrades to one block per full latency.
+  for (std::size_t off = 0; off < data.size(); off += 16) {
+    auto ct = encryptBlock(xorBlocks(loadBlock(data, off), prev));
+    if (!ct) return std::nullopt;
+    storeBlock(out, off, *ct);
+    prev = *ct;
+  }
+  return out;
+}
+
+}  // namespace aesifc::accel

@@ -1,0 +1,72 @@
+#pragma once
+// Software driver layer: what a kernel driver / user library would run on
+// the host CPU to use the accelerator. `AccelSession` is one user's handle;
+// it performs synchronous block operations and block-cipher modes by
+// submitting work and ticking the device until completion.
+//
+// The mode helpers also document a real architectural point of pipelined
+// engines: ECB/CTR submit one block per cycle and ride the full 51.2 Gbps
+// pipeline, while CBC encryption is chained and pays the whole 30-cycle
+// latency per block.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "aes/modes.h"
+
+namespace aesifc::accel {
+
+// Loads a key of any supported size through the tagged scratchpad path
+// (configure keyBytes/8 cells, write the 64-bit words, expand into `slot`).
+// Returns false if any step is refused.
+bool loadKeyBytes(AesAccelerator& acc, unsigned user, unsigned slot,
+                  unsigned cell_base, const std::vector<std::uint8_t>& key,
+                  aes::KeySize ks, lattice::Conf key_conf);
+
+// Convenience for the common AES-128 case.
+bool loadKey128(AesAccelerator& acc, unsigned user, unsigned slot,
+                unsigned cell_base, const std::vector<std::uint8_t>& key,
+                lattice::Conf key_conf);
+
+class AccelSession {
+ public:
+  AccelSession(AesAccelerator& acc, unsigned user, unsigned key_slot);
+
+  // Single-block synchronous operations (tick until the response arrives).
+  // Returns nullopt if the device suppressed the output (declassification
+  // refused) or never answered within the timeout.
+  std::optional<aes::Block> encryptBlock(const aes::Block& pt);
+  std::optional<aes::Block> decryptBlock(const aes::Block& ct);
+
+  // Pipelined modes: one submission per cycle, all blocks in flight.
+  std::optional<aes::Bytes> ecbEncrypt(const aes::Bytes& data);
+  std::optional<aes::Bytes> ecbDecrypt(const aes::Bytes& data);
+  std::optional<aes::Bytes> ctrCrypt(const aes::Bytes& data,
+                                     const aes::Iv& nonce);
+  // CBC decryption is parallel (each block's chain input is ciphertext).
+  std::optional<aes::Bytes> cbcDecrypt(const aes::Bytes& data,
+                                       const aes::Iv& iv);
+  // CBC encryption is serial: each block waits for the previous one.
+  std::optional<aes::Bytes> cbcEncrypt(const aes::Bytes& data,
+                                       const aes::Iv& iv);
+
+  // Device cycles consumed by this session's synchronous calls.
+  std::uint64_t cyclesUsed() const { return cycles_used_; }
+  unsigned user() const { return user_; }
+
+ private:
+  // Submit `blocks` (optionally XORed against `chain` upstream by caller),
+  // pipelined, and collect responses in submission order.
+  std::optional<std::vector<aes::Block>> runBatch(
+      const std::vector<aes::Block>& blocks, bool decrypt);
+
+  AesAccelerator& acc_;
+  unsigned user_;
+  unsigned key_slot_;
+  std::uint64_t next_req_ = 1;
+  std::uint64_t cycles_used_ = 0;
+};
+
+}  // namespace aesifc::accel

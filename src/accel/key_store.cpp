@@ -1,0 +1,49 @@
+#include "accel/key_store.h"
+
+#include <stdexcept>
+
+namespace aesifc::accel {
+
+void KeyScratchpad::configureCells(unsigned base, unsigned count,
+                                   const Label& l) {
+  if (base + count > kScratchpadCells)
+    throw std::out_of_range("configureCells: range exceeds scratchpad");
+  for (unsigned i = 0; i < count; ++i) tags_[base + i] = l;
+}
+
+bool KeyScratchpad::writeCell(unsigned idx, std::uint64_t value,
+                              const Label& requester) {
+  if (idx >= kScratchpadCells) return false;
+  // Writing is a flow from the requester into the cell: the requester's
+  // label must flow to the cell's tag.
+  if (mode_ == SecurityMode::Protected && !requester.flowsTo(tags_[idx])) {
+    return false;
+  }
+  cells_[idx] = value;
+  return true;
+}
+
+std::optional<std::uint64_t> KeyScratchpad::readCell(
+    unsigned idx, const Label& requester) const {
+  if (idx >= kScratchpadCells) return std::nullopt;
+  // Reading is a confidentiality flow from the cell to the requester; it
+  // does not assert trust, so only the confidentiality order is checked.
+  if (mode_ == SecurityMode::Protected &&
+      !tags_[idx].c.flowsTo(requester.c)) {
+    return std::nullopt;
+  }
+  return cells_[idx];
+}
+
+void RoundKeyRam::store(unsigned slot, aes::ExpandedKey key,
+                        lattice::Conf key_conf, const Label& owner) {
+  auto& s = slots_.at(slot);
+  s.valid = true;
+  s.key = std::move(key);
+  s.key_conf = key_conf;
+  s.owner = owner;
+}
+
+void RoundKeyRam::clear(unsigned slot) { slots_.at(slot) = KeySlot{}; }
+
+}  // namespace aesifc::accel

@@ -1,0 +1,82 @@
+#pragma once
+// Key storage: the 512-bit key scratchpad of Fig. 5 (eight 64-bit cells,
+// each with an associated security tag) feeding a round-key RAM whose slots
+// hold expanded keys (the accelerator expands a key once at load time; the
+// pipeline then reads per-round keys by slot, which is what lets blocks of
+// different users be in flight concurrently).
+//
+// In Protected mode every cell access is tag-checked before it happens:
+// a buffer overrun that would overwrite another user's key is blocked and
+// reported, exactly the Fig. 5 scenario. In Baseline mode the checks are
+// skipped — the scratchpad behaves like the unprotected design the paper's
+// baseline models.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "aes/key_schedule.h"
+#include "accel/types.h"
+
+namespace aesifc::accel {
+
+inline constexpr unsigned kScratchpadCells = 8;   // 8 x 64 bits = 512 bits
+inline constexpr unsigned kRoundKeySlots = 8;     // expanded-key RAM slots
+
+class KeyScratchpad {
+ public:
+  explicit KeyScratchpad(SecurityMode mode) : mode_{mode} {}
+
+  // Arbiter-side: (re)assign the security level of a range of cells before
+  // a user writes its key (the paper's "arbiter accepts the request and
+  // configures the cells with l(Eve)").
+  void configureCells(unsigned base, unsigned count, const Label& l);
+
+  // Returns false (and does not write) if the requester's label does not
+  // match the cell's tag in Protected mode.
+  bool writeCell(unsigned idx, std::uint64_t value, const Label& requester);
+
+  // Returns nullopt if the requester may not read the cell.
+  std::optional<std::uint64_t> readCell(unsigned idx,
+                                        const Label& requester) const;
+
+  // Raw access for expansion hardware / tests (no checks).
+  std::uint64_t rawCell(unsigned idx) const { return cells_.at(idx); }
+  const Label& cellLabel(unsigned idx) const { return tags_.at(idx); }
+
+ private:
+  SecurityMode mode_;
+  std::array<std::uint64_t, kScratchpadCells> cells_{};
+  std::array<Label, kScratchpadCells> tags_{};
+};
+
+// One expanded key with its security metadata.
+struct KeySlot {
+  bool valid = false;
+  aes::ExpandedKey key;
+  // Confidentiality of the key material itself (ck in Section 3.2.1); the
+  // master key carries top.
+  lattice::Conf key_conf{};
+  // Label of the owner that loaded it (cu, iu).
+  Label owner{};
+};
+
+class RoundKeyRam {
+ public:
+  void store(unsigned slot, aes::ExpandedKey key, lattice::Conf key_conf,
+             const Label& owner);
+  void clear(unsigned slot);
+  bool valid(unsigned slot) const { return slots_.at(slot).valid; }
+  const KeySlot& slot(unsigned s) const { return slots_.at(s); }
+  const aes::RoundKey& roundKey(unsigned slot, unsigned round) const {
+    return slots_.at(slot).key.round_keys.at(round);
+  }
+  unsigned rounds(unsigned slot) const { return slots_.at(slot).key.rounds(); }
+
+ private:
+  std::array<KeySlot, kRoundKeySlots> slots_{};
+};
+
+}  // namespace aesifc::accel

@@ -1,0 +1,95 @@
+#include "accel/pipeline.h"
+
+#include <cassert>
+
+#include "aes/block.h"
+
+namespace aesifc::accel {
+
+AesPipeline::AesPipeline(unsigned max_rounds, const RoundKeyRam& keys)
+    : max_rounds_{max_rounds}, keys_{keys}, stages_(3 * max_rounds) {
+  assert(max_rounds >= 1);
+}
+
+bool AesPipeline::anyValid() const {
+  for (const auto& s : stages_)
+    if (s.valid) return true;
+  return false;
+}
+
+unsigned AesPipeline::validCount() const {
+  unsigned n = 0;
+  for (const auto& s : stages_)
+    if (s.valid) ++n;
+  return n;
+}
+
+lattice::Conf AesPipeline::meetConf() const {
+  lattice::Conf m = lattice::Conf::top();  // identity of the meet
+  for (const auto& s : stages_) {
+    if (s.valid) m = m.meet(s.tag.c);
+  }
+  return m;
+}
+
+StageSlot AesPipeline::applyEntry(StageSlot s) const {
+  // Entry AddRoundKey: rk[0] for encryption, rk[n] for decryption.
+  const unsigned n = s.total_rounds;
+  const auto& rk = keys_.roundKey(s.key_slot, s.decrypt ? n : 0);
+  aes::addRoundKey(s.state, rk);
+  return s;
+}
+
+StageSlot AesPipeline::compute(unsigned idx, StageSlot s) const {
+  if (!s.valid) return s;
+  const unsigned r = idx / 3 + 1;  // round this stage performs
+  const unsigned op = idx % 3;
+  const unsigned n = s.total_rounds;
+  if (r > n) return s;  // pass-through stage for shorter key schedules
+
+  if (!s.decrypt) {
+    switch (op) {
+      case 0:
+        aes::subBytes(s.state);
+        break;
+      case 1:
+        aes::shiftRows(s.state);
+        if (r < n) aes::mixColumns(s.state);
+        break;
+      case 2:
+        aes::addRoundKey(s.state, keys_.roundKey(s.key_slot, r));
+        break;
+    }
+  } else {
+    switch (op) {
+      case 0:
+        aes::invShiftRows(s.state);
+        break;
+      case 1:
+        aes::invSubBytes(s.state);
+        break;
+      case 2:
+        aes::addRoundKey(s.state, keys_.roundKey(s.key_slot, n - r));
+        if (r < n) aes::invMixColumns(s.state);
+        break;
+    }
+  }
+  return s;
+}
+
+std::optional<StageSlot> AesPipeline::advance(std::optional<StageSlot> input) {
+  std::optional<StageSlot> out;
+  if (stages_.back().valid) out = stages_.back();
+
+  for (std::size_t i = stages_.size() - 1; i >= 1; --i) {
+    stages_[i] = compute(static_cast<unsigned>(i), stages_[i - 1]);
+  }
+  if (input.has_value()) {
+    stages_[0] = compute(0, applyEntry(std::move(*input)));
+  } else {
+    stages_[0] = StageSlot{};
+  }
+  return out;
+}
+
+}  // namespace aesifc::accel

@@ -1,0 +1,63 @@
+#pragma once
+// The deeply pipelined AES datapath (Section 3.1, Fig. 7): three micro-op
+// stages per round (SubBytes; ShiftRows [+ MixColumns]; AddRoundKey), so an
+// AES-128 engine is 30 stages deep, accepts one block per cycle, and
+// completes a block in 30 cycles — matching the paper's prototype. Blocks
+// from different users (and different directions, and different key sizes
+// up to the configured maximum) can be in flight simultaneously; each stage
+// slot carries the block's security tag, which is the hardware of Fig. 7's
+// per-stage tag registers.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "accel/key_store.h"
+#include "accel/types.h"
+
+namespace aesifc::accel {
+
+struct StageSlot {
+  bool valid = false;
+  aes::State state{};
+  unsigned key_slot = 0;
+  unsigned total_rounds = 10;  // rounds this block actually needs
+  bool decrypt = false;
+  std::uint64_t req_id = 0;
+  unsigned user = 0;
+  std::uint64_t accept_cycle = 0;
+  Label tag{};  // per-stage security tag (Fig. 7)
+};
+
+class AesPipeline {
+ public:
+  AesPipeline(unsigned max_rounds, const RoundKeyRam& keys);
+
+  unsigned depth() const { return static_cast<unsigned>(stages_.size()); }
+  unsigned maxRounds() const { return max_rounds_; }
+
+  bool anyValid() const;
+  unsigned validCount() const;
+  const StageSlot& stage(unsigned i) const { return stages_.at(i); }
+  const StageSlot& finalStage() const { return stages_.back(); }
+
+  // Meet (greatest lower bound in the confidentiality order) over the tags
+  // of all occupied stages — the Fig. 8 stall-gating value. Top when empty.
+  lattice::Conf meetConf() const;
+
+  // Shift the pipeline by one stage. `input`, if present, is a freshly
+  // accepted block *before* the entry AddRoundKey (which this call applies).
+  // Returns the slot leaving the final stage, if any.
+  std::optional<StageSlot> advance(std::optional<StageSlot> input);
+
+ private:
+  // Apply the micro-op of stage `idx` to a slot entering it.
+  StageSlot compute(unsigned idx, StageSlot s) const;
+  StageSlot applyEntry(StageSlot s) const;
+
+  unsigned max_rounds_;
+  const RoundKeyRam& keys_;
+  std::vector<StageSlot> stages_;
+};
+
+}  // namespace aesifc::accel

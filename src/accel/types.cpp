@@ -1,0 +1,31 @@
+#include "accel/types.h"
+
+#include <sstream>
+
+namespace aesifc::accel {
+
+std::string toString(SecurityEventKind k) {
+  switch (k) {
+    case SecurityEventKind::ScratchpadWriteBlocked:
+      return "scratchpad-write-blocked";
+    case SecurityEventKind::ScratchpadReadBlocked:
+      return "scratchpad-read-blocked";
+    case SecurityEventKind::DebugReadBlocked: return "debug-read-blocked";
+    case SecurityEventKind::ConfigWriteBlocked: return "config-write-blocked";
+    case SecurityEventKind::DeclassifyRejected: return "declassify-rejected";
+    case SecurityEventKind::StallDenied: return "stall-denied";
+    case SecurityEventKind::OutputBufferOverflow:
+      return "output-buffer-overflow";
+    case SecurityEventKind::KeySlotBlocked: return "key-slot-blocked";
+  }
+  return "?";
+}
+
+std::string SecurityEvent::toString() const {
+  std::ostringstream os;
+  os << "cycle " << cycle << " [" << accel::toString(kind) << "] user " << user;
+  if (!detail.empty()) os << " : " << detail;
+  return os.str();
+}
+
+}  // namespace aesifc::accel

@@ -1,0 +1,65 @@
+#pragma once
+// Shared types of the accelerator model: operating mode, security events,
+// request/response records crossing the host interface.
+
+#include <cstdint>
+#include <string>
+
+#include "aes/block.h"
+#include "lattice/label.h"
+#include "lattice/tag.h"
+
+namespace aesifc::accel {
+
+using lattice::HwTag;
+using lattice::Label;
+using lattice::Principal;
+
+// Baseline reproduces the unprotected high-throughput accelerator of
+// Section 4; Protected adds the security tags, runtime checkers, the
+// meet-gated stall rule and output overflow buffer, and nonmalleable
+// declassification at the pipeline exit.
+enum class SecurityMode { Baseline, Protected };
+
+enum class SecurityEventKind {
+  ScratchpadWriteBlocked,
+  ScratchpadReadBlocked,
+  DebugReadBlocked,
+  ConfigWriteBlocked,
+  DeclassifyRejected,
+  StallDenied,
+  OutputBufferOverflow,
+  KeySlotBlocked,
+};
+
+std::string toString(SecurityEventKind k);
+
+struct SecurityEvent {
+  SecurityEventKind kind;
+  std::uint64_t cycle = 0;
+  unsigned user = 0;
+  std::string detail;
+
+  std::string toString() const;
+};
+
+// One block submitted for encryption/decryption.
+struct BlockRequest {
+  std::uint64_t req_id = 0;
+  unsigned user = 0;
+  unsigned key_slot = 0;  // round-key RAM slot to use
+  bool decrypt = false;
+  aes::Block data{};
+};
+
+// One completed block delivered to a user's output queue.
+struct BlockResponse {
+  std::uint64_t req_id = 0;
+  unsigned user = 0;
+  aes::Block data{};
+  std::uint64_t accept_cycle = 0;    // cycle the pipeline accepted it
+  std::uint64_t complete_cycle = 0;  // cycle it exited (or left the buffer)
+  bool suppressed = false;  // protected mode refused to declassify the output
+};
+
+}  // namespace aesifc::accel

@@ -1,0 +1,80 @@
+#include "aes/block.h"
+
+#include "aes/gf256.h"
+#include "aes/sbox.h"
+
+namespace aesifc::aes {
+
+State blockToState(const Block& b) {
+  State s;
+  // FIPS-197: input byte n goes to state[row = n mod 4][col = n / 4];
+  // with column-major storage that is the identity mapping.
+  for (unsigned n = 0; n < 16; ++n) s[n] = b[n];
+  return s;
+}
+
+Block stateToBlock(const State& s) {
+  Block b;
+  for (unsigned n = 0; n < 16; ++n) b[n] = s[n];
+  return b;
+}
+
+void subBytes(State& s) {
+  for (auto& x : s) x = sbox(x);
+}
+
+void invSubBytes(State& s) {
+  for (auto& x : s) x = invSbox(x);
+}
+
+void shiftRows(State& s) {
+  State out;
+  for (unsigned r = 0; r < 4; ++r) {
+    for (unsigned c = 0; c < 4; ++c) {
+      out[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+    }
+  }
+  s = out;
+}
+
+void invShiftRows(State& s) {
+  State out;
+  for (unsigned r = 0; r < 4; ++r) {
+    for (unsigned c = 0; c < 4; ++c) {
+      out[r + 4 * ((c + r) % 4)] = s[r + 4 * c];
+    }
+  }
+  s = out;
+}
+
+void mixColumns(State& s) {
+  for (unsigned c = 0; c < 4; ++c) {
+    const std::uint8_t a0 = s[0 + 4 * c], a1 = s[1 + 4 * c];
+    const std::uint8_t a2 = s[2 + 4 * c], a3 = s[3 + 4 * c];
+    s[0 + 4 * c] = static_cast<std::uint8_t>(gfMul(a0, 2) ^ gfMul(a1, 3) ^ a2 ^ a3);
+    s[1 + 4 * c] = static_cast<std::uint8_t>(a0 ^ gfMul(a1, 2) ^ gfMul(a2, 3) ^ a3);
+    s[2 + 4 * c] = static_cast<std::uint8_t>(a0 ^ a1 ^ gfMul(a2, 2) ^ gfMul(a3, 3));
+    s[3 + 4 * c] = static_cast<std::uint8_t>(gfMul(a0, 3) ^ a1 ^ a2 ^ gfMul(a3, 2));
+  }
+}
+
+void invMixColumns(State& s) {
+  for (unsigned c = 0; c < 4; ++c) {
+    const std::uint8_t a0 = s[0 + 4 * c], a1 = s[1 + 4 * c];
+    const std::uint8_t a2 = s[2 + 4 * c], a3 = s[3 + 4 * c];
+    s[0 + 4 * c] = static_cast<std::uint8_t>(gfMul(a0, 14) ^ gfMul(a1, 11) ^
+                                             gfMul(a2, 13) ^ gfMul(a3, 9));
+    s[1 + 4 * c] = static_cast<std::uint8_t>(gfMul(a0, 9) ^ gfMul(a1, 14) ^
+                                             gfMul(a2, 11) ^ gfMul(a3, 13));
+    s[2 + 4 * c] = static_cast<std::uint8_t>(gfMul(a0, 13) ^ gfMul(a1, 9) ^
+                                             gfMul(a2, 14) ^ gfMul(a3, 11));
+    s[3 + 4 * c] = static_cast<std::uint8_t>(gfMul(a0, 11) ^ gfMul(a1, 13) ^
+                                             gfMul(a2, 9) ^ gfMul(a3, 14));
+  }
+}
+
+void addRoundKey(State& s, const RoundKey& rk) {
+  for (unsigned n = 0; n < 16; ++n) s[n] ^= rk[n];
+}
+
+}  // namespace aesifc::aes

@@ -1,0 +1,54 @@
+#pragma once
+// AES block primitives (FIPS-197). The state is 16 bytes in column-major
+// order: state[r + 4*c] is row r, column c; a 128-bit input block maps
+// bytes in order b0..b15 to columns first, exactly as the standard.
+//
+// Round micro-operations are exposed individually because the accelerator
+// pipeline executes one micro-op per stage (3 stages per round, Fig. 7 /
+// Section 4's 30-cycle latency for AES-128).
+
+#include <array>
+#include <cstdint>
+
+namespace aesifc::aes {
+
+using State = std::array<std::uint8_t, 16>;
+using Block = std::array<std::uint8_t, 16>;     // raw 128-bit block, b0..b15
+using RoundKey = std::array<std::uint8_t, 16>;  // one 128-bit round key
+
+enum class KeySize { Aes128, Aes192, Aes256 };
+
+// Number of rounds N for the key size (Fig. 1: 10 / 12 / 14).
+constexpr unsigned numRounds(KeySize ks) {
+  switch (ks) {
+    case KeySize::Aes128: return 10;
+    case KeySize::Aes192: return 12;
+    case KeySize::Aes256: return 14;
+  }
+  return 10;
+}
+
+constexpr unsigned keyBytes(KeySize ks) {
+  switch (ks) {
+    case KeySize::Aes128: return 16;
+    case KeySize::Aes192: return 24;
+    case KeySize::Aes256: return 32;
+  }
+  return 16;
+}
+
+State blockToState(const Block& b);
+Block stateToBlock(const State& s);
+
+// Forward micro-ops.
+void subBytes(State& s);
+void shiftRows(State& s);
+void mixColumns(State& s);
+void addRoundKey(State& s, const RoundKey& rk);
+
+// Inverse micro-ops (for decryption).
+void invSubBytes(State& s);
+void invShiftRows(State& s);
+void invMixColumns(State& s);
+
+}  // namespace aesifc::aes

@@ -1,0 +1,45 @@
+#include "aes/cipher.h"
+
+namespace aesifc::aes {
+
+Block encryptBlock(const Block& plaintext, const ExpandedKey& key) {
+  const unsigned nr = key.rounds();
+  State s = blockToState(plaintext);
+  addRoundKey(s, key.round_keys[0]);
+  for (unsigned r = 1; r < nr; ++r) {
+    subBytes(s);
+    shiftRows(s);
+    mixColumns(s);
+    addRoundKey(s, key.round_keys[r]);
+  }
+  subBytes(s);
+  shiftRows(s);
+  addRoundKey(s, key.round_keys[nr]);
+  return stateToBlock(s);
+}
+
+Block decryptBlock(const Block& ciphertext, const ExpandedKey& key) {
+  const unsigned nr = key.rounds();
+  State s = blockToState(ciphertext);
+  addRoundKey(s, key.round_keys[nr]);
+  for (unsigned r = nr - 1; r >= 1; --r) {
+    invShiftRows(s);
+    invSubBytes(s);
+    addRoundKey(s, key.round_keys[r]);
+    invMixColumns(s);
+  }
+  invShiftRows(s);
+  invSubBytes(s);
+  addRoundKey(s, key.round_keys[0]);
+  return stateToBlock(s);
+}
+
+Block encryptBlock(const Block& plaintext, const std::uint8_t* key, KeySize ks) {
+  return encryptBlock(plaintext, expandKey(key, ks));
+}
+
+Block decryptBlock(const Block& ciphertext, const std::uint8_t* key, KeySize ks) {
+  return decryptBlock(ciphertext, expandKey(key, ks));
+}
+
+}  // namespace aesifc::aes

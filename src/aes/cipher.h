@@ -1,0 +1,17 @@
+#pragma once
+// Whole-block AES encrypt/decrypt — the golden reference model for the
+// accelerator, and the building block for the mode helpers.
+
+#include "aes/block.h"
+#include "aes/key_schedule.h"
+
+namespace aesifc::aes {
+
+Block encryptBlock(const Block& plaintext, const ExpandedKey& key);
+Block decryptBlock(const Block& ciphertext, const ExpandedKey& key);
+
+// Convenience: expand + encrypt/decrypt one block.
+Block encryptBlock(const Block& plaintext, const std::uint8_t* key, KeySize ks);
+Block decryptBlock(const Block& ciphertext, const std::uint8_t* key, KeySize ks);
+
+}  // namespace aesifc::aes

@@ -1,0 +1,150 @@
+#include "aes/gcm.h"
+
+#include <cstring>
+
+namespace aesifc::aes {
+
+namespace {
+
+// Bit i of a block in SP 800-38D convention: i = 0 is the most significant
+// bit of byte 0.
+bool blockBit(const Tag128& x, unsigned i) {
+  return (x[i / 8] >> (7 - (i % 8))) & 1;
+}
+
+// Right shift by one bit in the same convention.
+Tag128 shiftRight1(const Tag128& v) {
+  Tag128 out{};
+  std::uint8_t carry = 0;
+  for (unsigned i = 0; i < 16; ++i) {
+    out[i] = static_cast<std::uint8_t>((v[i] >> 1) | (carry << 7));
+    carry = v[i] & 1;
+  }
+  return out;
+}
+
+Tag128 xorTags(Tag128 a, const Tag128& b) {
+  for (unsigned i = 0; i < 16; ++i) a[i] ^= b[i];
+  return a;
+}
+
+void inc32(Block& ctr) {
+  for (int i = 15; i >= 12; --i) {
+    if (++ctr[static_cast<unsigned>(i)] != 0) break;
+  }
+}
+
+// GCTR: counter-mode keystream starting at `icb` (inclusive).
+std::vector<std::uint8_t> gctr(const ExpandedKey& key, Block icb,
+                               const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint8_t> out(data.size());
+  Block ctr = icb;
+  for (std::size_t off = 0; off < data.size(); off += 16) {
+    const Block ks = encryptBlock(ctr, key);
+    const std::size_t n = std::min<std::size_t>(16, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] = data[off + i] ^ ks[i];
+    inc32(ctr);
+  }
+  return out;
+}
+
+void appendPadded(std::vector<std::uint8_t>& s,
+                  const std::vector<std::uint8_t>& data) {
+  s.insert(s.end(), data.begin(), data.end());
+  if (data.size() % 16 != 0) s.insert(s.end(), 16 - data.size() % 16, 0);
+}
+
+void appendLen64(std::vector<std::uint8_t>& s, std::uint64_t bytes) {
+  const std::uint64_t bits = bytes * 8;
+  for (int i = 7; i >= 0; --i)
+    s.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+Tag128 computeTag(const ExpandedKey& key, const Tag128& h, const Block& j0,
+                  const std::vector<std::uint8_t>& aad,
+                  const std::vector<std::uint8_t>& ct) {
+  std::vector<std::uint8_t> s;
+  s.reserve(((aad.size() + 15) / 16 + (ct.size() + 15) / 16 + 1) * 16);
+  appendPadded(s, aad);
+  appendPadded(s, ct);
+  appendLen64(s, aad.size());
+  appendLen64(s, ct.size());
+  const Tag128 hash = ghash(h, s);
+  const Block e = encryptBlock(j0, key);
+  Tag128 tag{};
+  for (unsigned i = 0; i < 16; ++i) tag[i] = hash[i] ^ e[i];
+  return tag;
+}
+
+}  // namespace
+
+Tag128 gf128Mul(const Tag128& x, const Tag128& y) {
+  // SP 800-38D Algorithm 1; R = 11100001 || 0^120.
+  Tag128 z{};
+  Tag128 v = y;
+  for (unsigned i = 0; i < 128; ++i) {
+    if (blockBit(x, i)) z = xorTags(z, v);
+    const bool lsb = v[15] & 1;
+    v = shiftRight1(v);
+    if (lsb) v[0] ^= 0xe1;
+  }
+  return z;
+}
+
+Tag128 ghash(const Tag128& h, const std::vector<std::uint8_t>& data) {
+  Tag128 y{};
+  for (std::size_t off = 0; off + 16 <= data.size(); off += 16) {
+    Tag128 blk{};
+    std::memcpy(blk.data(), data.data() + off, 16);
+    y = gf128Mul(xorTags(y, blk), h);
+  }
+  return y;
+}
+
+GcmResult gcmEncrypt(const std::vector<std::uint8_t>& plaintext,
+                     const std::vector<std::uint8_t>& aad,
+                     const ExpandedKey& key,
+                     const std::array<std::uint8_t, 12>& iv) {
+  const Block zero{};
+  const Block h_block = encryptBlock(zero, key);
+  Tag128 h{};
+  std::memcpy(h.data(), h_block.data(), 16);
+
+  Block j0{};
+  std::memcpy(j0.data(), iv.data(), 12);
+  j0[15] = 1;
+
+  Block icb = j0;
+  inc32(icb);
+
+  GcmResult r;
+  r.ciphertext = gctr(key, icb, plaintext);
+  r.tag = computeTag(key, h, j0, aad, r.ciphertext);
+  return r;
+}
+
+std::optional<std::vector<std::uint8_t>> gcmDecrypt(
+    const std::vector<std::uint8_t>& ciphertext,
+    const std::vector<std::uint8_t>& aad, const Tag128& tag,
+    const ExpandedKey& key, const std::array<std::uint8_t, 12>& iv) {
+  const Block zero{};
+  const Block h_block = encryptBlock(zero, key);
+  Tag128 h{};
+  std::memcpy(h.data(), h_block.data(), 16);
+
+  Block j0{};
+  std::memcpy(j0.data(), iv.data(), 12);
+  j0[15] = 1;
+
+  const Tag128 expect = computeTag(key, h, j0, aad, ciphertext);
+  // Constant-time comparison (no early exit on mismatch).
+  std::uint8_t diff = 0;
+  for (unsigned i = 0; i < 16; ++i) diff |= expect[i] ^ tag[i];
+  if (diff != 0) return std::nullopt;
+
+  Block icb = j0;
+  inc32(icb);
+  return gctr(key, icb, ciphertext);
+}
+
+}  // namespace aesifc::aes

@@ -1,0 +1,42 @@
+#pragma once
+// AES-GCM (NIST SP 800-38D): authenticated encryption over the AES core.
+// Used by the SSL-record example workload the paper's introduction
+// motivates (cloud tenants sharing one engine for TLS traffic). GHASH is
+// implemented from the GF(2^128) definition; no tables are pasted.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "aes/cipher.h"
+
+namespace aesifc::aes {
+
+using Tag128 = std::array<std::uint8_t, 16>;
+
+// GF(2^128) multiplication per SP 800-38D Section 6.3 (block = bit string,
+// leftmost bit is x^0). Exposed for tests.
+Tag128 gf128Mul(const Tag128& x, const Tag128& y);
+
+// GHASH_H over a byte string that is already a multiple of 16 bytes.
+Tag128 ghash(const Tag128& h, const std::vector<std::uint8_t>& data);
+
+struct GcmResult {
+  std::vector<std::uint8_t> ciphertext;
+  Tag128 tag;
+};
+
+// GCM encryption with a 96-bit IV (the recommended size).
+GcmResult gcmEncrypt(const std::vector<std::uint8_t>& plaintext,
+                     const std::vector<std::uint8_t>& aad,
+                     const ExpandedKey& key,
+                     const std::array<std::uint8_t, 12>& iv);
+
+// Returns nullopt on authentication failure.
+std::optional<std::vector<std::uint8_t>> gcmDecrypt(
+    const std::vector<std::uint8_t>& ciphertext,
+    const std::vector<std::uint8_t>& aad, const Tag128& tag,
+    const ExpandedKey& key, const std::array<std::uint8_t, 12>& iv);
+
+}  // namespace aesifc::aes

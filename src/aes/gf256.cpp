@@ -1,0 +1,31 @@
+#include "aes/gf256.h"
+
+namespace aesifc::aes {
+
+std::uint8_t gfMul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    const bool hi = a & 0x80;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (hi) a ^= 0x1b;
+    b >>= 1;
+  }
+  return p;
+}
+
+std::uint8_t gfInv(std::uint8_t a) {
+  if (a == 0) return 0;
+  // a^254 = a^-1 in GF(2^8) (Fermat); square-and-multiply.
+  std::uint8_t result = 1;
+  std::uint8_t base = a;
+  unsigned exp = 254;
+  while (exp != 0) {
+    if (exp & 1) result = gfMul(result, base);
+    base = gfMul(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+}  // namespace aesifc::aes

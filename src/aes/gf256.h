@@ -1,0 +1,21 @@
+#pragma once
+// GF(2^8) arithmetic with the AES reduction polynomial
+// x^8 + x^4 + x^3 + x + 1 (0x11b). Used to derive the S-box and MixColumns
+// rather than pasting tables, and by tests to cross-check both.
+
+#include <cstdint>
+
+namespace aesifc::aes {
+
+// Carry-less multiply modulo 0x11b.
+std::uint8_t gfMul(std::uint8_t a, std::uint8_t b);
+
+// Multiplicative inverse (gfInv(0) == 0 by AES convention).
+std::uint8_t gfInv(std::uint8_t a);
+
+// xtime: multiply by x (i.e. 2) modulo 0x11b.
+inline std::uint8_t xtime(std::uint8_t a) {
+  return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0x00));
+}
+
+}  // namespace aesifc::aes

@@ -1,0 +1,69 @@
+#include "aes/key_schedule.h"
+
+#include <cassert>
+
+#include "aes/gf256.h"
+#include "aes/sbox.h"
+
+namespace aesifc::aes {
+
+namespace {
+
+using Word = std::array<std::uint8_t, 4>;
+
+Word rotWord(Word w) { return {w[1], w[2], w[3], w[0]}; }
+
+Word subWord(Word w) {
+  for (auto& b : w) b = sbox(b);
+  return w;
+}
+
+Word xorWords(Word a, const Word& b) {
+  for (unsigned i = 0; i < 4; ++i) a[i] ^= b[i];
+  return a;
+}
+
+}  // namespace
+
+ExpandedKey expandKey(const std::uint8_t* key, KeySize size) {
+  const unsigned nk = keyBytes(size) / 4;  // key words: 4 / 6 / 8
+  const unsigned nr = numRounds(size);
+  const unsigned total_words = 4 * (nr + 1);
+
+  std::vector<Word> w(total_words);
+  for (unsigned i = 0; i < nk; ++i) {
+    w[i] = {key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]};
+  }
+
+  std::uint8_t rcon = 0x01;
+  for (unsigned i = nk; i < total_words; ++i) {
+    Word temp = w[i - 1];
+    if (i % nk == 0) {
+      temp = subWord(rotWord(temp));
+      temp[0] ^= rcon;
+      rcon = xtime(rcon);
+    } else if (nk > 6 && i % nk == 4) {
+      temp = subWord(temp);
+    }
+    w[i] = xorWords(w[i - nk], temp);
+  }
+
+  ExpandedKey ek;
+  ek.size = size;
+  ek.round_keys.resize(nr + 1);
+  for (unsigned r = 0; r <= nr; ++r) {
+    for (unsigned c = 0; c < 4; ++c) {
+      for (unsigned b = 0; b < 4; ++b) {
+        ek.round_keys[r][b + 4 * c] = w[4 * r + c][b];
+      }
+    }
+  }
+  return ek;
+}
+
+ExpandedKey expandKey(const std::vector<std::uint8_t>& key, KeySize size) {
+  assert(key.size() == keyBytes(size));
+  return expandKey(key.data(), size);
+}
+
+}  // namespace aesifc::aes

@@ -1,0 +1,25 @@
+#pragma once
+// AES key expansion (FIPS-197 Section 5.2) for all three key sizes. The
+// accelerator expands keys once at key-load time into a round-key RAM
+// (the BRAM in Table 2), so expansion lives apart from the datapath.
+
+#include <cstdint>
+#include <vector>
+
+#include "aes/block.h"
+
+namespace aesifc::aes {
+
+struct ExpandedKey {
+  KeySize size = KeySize::Aes128;
+  // numRounds+1 round keys of 16 bytes each.
+  std::vector<RoundKey> round_keys;
+
+  unsigned rounds() const { return numRounds(size); }
+};
+
+// `key` must hold keyBytes(size) bytes.
+ExpandedKey expandKey(const std::uint8_t* key, KeySize size);
+ExpandedKey expandKey(const std::vector<std::uint8_t>& key, KeySize size);
+
+}  // namespace aesifc::aes

@@ -1,0 +1,99 @@
+#include "aes/modes.h"
+
+#include <cassert>
+
+namespace aesifc::aes {
+
+namespace {
+
+Block loadBlock(const Bytes& in, std::size_t off) {
+  Block b{};
+  for (unsigned i = 0; i < 16; ++i) b[i] = in[off + i];
+  return b;
+}
+
+void storeBlock(Bytes& out, std::size_t off, const Block& b) {
+  for (unsigned i = 0; i < 16; ++i) out[off + i] = b[i];
+}
+
+Block xorBlocks(Block a, const Block& b) {
+  for (unsigned i = 0; i < 16; ++i) a[i] ^= b[i];
+  return a;
+}
+
+}  // namespace
+
+Bytes ecbEncrypt(const Bytes& in, const ExpandedKey& key) {
+  assert(in.size() % 16 == 0);
+  Bytes out(in.size());
+  for (std::size_t off = 0; off < in.size(); off += 16) {
+    storeBlock(out, off, encryptBlock(loadBlock(in, off), key));
+  }
+  return out;
+}
+
+Bytes ecbDecrypt(const Bytes& in, const ExpandedKey& key) {
+  assert(in.size() % 16 == 0);
+  Bytes out(in.size());
+  for (std::size_t off = 0; off < in.size(); off += 16) {
+    storeBlock(out, off, decryptBlock(loadBlock(in, off), key));
+  }
+  return out;
+}
+
+Bytes cbcEncrypt(const Bytes& in, const ExpandedKey& key, const Iv& iv) {
+  assert(in.size() % 16 == 0);
+  Bytes out(in.size());
+  Block prev = iv;
+  for (std::size_t off = 0; off < in.size(); off += 16) {
+    prev = encryptBlock(xorBlocks(loadBlock(in, off), prev), key);
+    storeBlock(out, off, prev);
+  }
+  return out;
+}
+
+Bytes cbcDecrypt(const Bytes& in, const ExpandedKey& key, const Iv& iv) {
+  assert(in.size() % 16 == 0);
+  Bytes out(in.size());
+  Block prev = iv;
+  for (std::size_t off = 0; off < in.size(); off += 16) {
+    const Block c = loadBlock(in, off);
+    storeBlock(out, off, xorBlocks(decryptBlock(c, key), prev));
+    prev = c;
+  }
+  return out;
+}
+
+Bytes ctrCrypt(const Bytes& in, const ExpandedKey& key, const Iv& nonce) {
+  Bytes out(in.size());
+  Block ctr = nonce;
+  for (std::size_t off = 0; off < in.size(); off += 16) {
+    const Block ks = encryptBlock(ctr, key);
+    const std::size_t n = std::min<std::size_t>(16, in.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] = in[off + i] ^ ks[i];
+    // Increment the big-endian counter in bytes 15..8.
+    for (int i = 15; i >= 8; --i) {
+      if (++ctr[static_cast<unsigned>(i)] != 0) break;
+    }
+  }
+  return out;
+}
+
+Bytes pkcs7Pad(const Bytes& in) {
+  const std::uint8_t pad = static_cast<std::uint8_t>(16 - (in.size() % 16));
+  Bytes out = in;
+  out.insert(out.end(), pad, pad);
+  return out;
+}
+
+Bytes pkcs7Unpad(const Bytes& in) {
+  if (in.empty() || in.size() % 16 != 0) return {};
+  const std::uint8_t pad = in.back();
+  if (pad == 0 || pad > 16 || pad > in.size()) return {};
+  for (std::size_t i = in.size() - pad; i < in.size(); ++i) {
+    if (in[i] != pad) return {};
+  }
+  return Bytes(in.begin(), in.end() - pad);
+}
+
+}  // namespace aesifc::aes

@@ -1,0 +1,32 @@
+#pragma once
+// Block cipher modes over the AES core: ECB, CBC, CTR. Used by the example
+// applications (SSL-like record encryption, disk encryption) to drive the
+// accelerator with realistic multi-block workloads.
+
+#include <cstdint>
+#include <vector>
+
+#include "aes/cipher.h"
+
+namespace aesifc::aes {
+
+using Bytes = std::vector<std::uint8_t>;
+using Iv = std::array<std::uint8_t, 16>;
+
+// ECB: input must be a multiple of 16 bytes.
+Bytes ecbEncrypt(const Bytes& in, const ExpandedKey& key);
+Bytes ecbDecrypt(const Bytes& in, const ExpandedKey& key);
+
+// CBC: input must be a multiple of 16 bytes.
+Bytes cbcEncrypt(const Bytes& in, const ExpandedKey& key, const Iv& iv);
+Bytes cbcDecrypt(const Bytes& in, const ExpandedKey& key, const Iv& iv);
+
+// CTR: any length; big-endian counter in the low 8 bytes of the IV block.
+Bytes ctrCrypt(const Bytes& in, const ExpandedKey& key, const Iv& nonce);
+
+// PKCS#7 padding helpers for CBC/ECB users.
+Bytes pkcs7Pad(const Bytes& in);
+// Returns empty vector on malformed padding.
+Bytes pkcs7Unpad(const Bytes& in);
+
+}  // namespace aesifc::aes

@@ -1,0 +1,46 @@
+#include "aes/sbox.h"
+
+#include <array>
+
+#include "aes/gf256.h"
+
+namespace aesifc::aes {
+
+namespace {
+
+std::uint8_t affine(std::uint8_t x) {
+  // b_i = x_i ^ x_(i+4) ^ x_(i+5) ^ x_(i+6) ^ x_(i+7) ^ c_i, c = 0x63.
+  std::uint8_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    const int b = ((x >> i) & 1) ^ ((x >> ((i + 4) & 7)) & 1) ^
+                  ((x >> ((i + 5) & 7)) & 1) ^ ((x >> ((i + 6) & 7)) & 1) ^
+                  ((x >> ((i + 7) & 7)) & 1) ^ ((0x63 >> i) & 1);
+    out |= static_cast<std::uint8_t>(b << i);
+  }
+  return out;
+}
+
+struct Tables {
+  std::array<std::uint8_t, 256> fwd{};
+  std::array<std::uint8_t, 256> inv{};
+  Tables() {
+    for (unsigned x = 0; x < 256; ++x) {
+      fwd[x] = affine(gfInv(static_cast<std::uint8_t>(x)));
+    }
+    for (unsigned x = 0; x < 256; ++x) inv[fwd[x]] = static_cast<std::uint8_t>(x);
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t sbox(std::uint8_t x) { return tables().fwd[x]; }
+std::uint8_t invSbox(std::uint8_t x) { return tables().inv[x]; }
+const std::uint8_t* sboxTable() { return tables().fwd.data(); }
+const std::uint8_t* invSboxTable() { return tables().inv.data(); }
+
+}  // namespace aesifc::aes

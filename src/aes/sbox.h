@@ -1,0 +1,17 @@
+#pragma once
+// AES S-box and its inverse, derived at static-initialization time from the
+// GF(2^8) inverse plus the FIPS-197 affine transform.
+
+#include <cstdint>
+
+namespace aesifc::aes {
+
+std::uint8_t sbox(std::uint8_t x);
+std::uint8_t invSbox(std::uint8_t x);
+
+// Direct access to the 256-entry tables (e.g. for the area model's BRAM/LUT
+// accounting and for building LUT nodes in the HDL IR).
+const std::uint8_t* sboxTable();
+const std::uint8_t* invSboxTable();
+
+}  // namespace aesifc::aes

@@ -1,0 +1,230 @@
+#include "common/bitvec.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace aesifc {
+
+BitVec::BitVec(unsigned width, std::uint64_t value)
+    : width_{width}, words_(wordCount(width), 0) {
+  if (width == 0) return;
+  words_[0] = value;
+  maskTop();
+}
+
+BitVec BitVec::fromBytes(const std::uint8_t* data, unsigned nbytes) {
+  BitVec v(nbytes * 8);
+  for (unsigned i = 0; i < nbytes; ++i) v.setByte(i, data[i]);
+  return v;
+}
+
+static int hexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+BitVec BitVec::fromHex(unsigned width, const std::string& hex) {
+  BitVec v(width);
+  unsigned nibble = 0;  // nibble index from the least-significant end
+  for (auto it = hex.rbegin(); it != hex.rend(); ++it) {
+    if (*it == '_' || *it == ' ') continue;
+    const int d = hexVal(*it);
+    if (d < 0) throw std::invalid_argument("BitVec::fromHex: bad digit");
+    for (unsigned b = 0; b < 4; ++b) {
+      const unsigned pos = nibble * 4 + b;
+      if (pos < width && ((d >> b) & 1)) v.setBit(pos, true);
+    }
+    ++nibble;
+  }
+  return v;
+}
+
+BitVec BitVec::allOnes(unsigned width) {
+  BitVec v(width);
+  for (auto& w : v.words_) w = ~0ULL;
+  v.maskTop();
+  return v;
+}
+
+void BitVec::maskTop() {
+  if (width_ == 0 || words_.empty()) return;
+  const unsigned rem = width_ % 64;
+  if (rem != 0) words_.back() &= (~0ULL >> (64 - rem));
+}
+
+bool BitVec::isZero() const {
+  for (auto w : words_)
+    if (w != 0) return false;
+  return true;
+}
+
+std::uint64_t BitVec::toU64() const {
+  if (words_.empty()) return 0;
+  return words_[0];
+}
+
+bool BitVec::bit(unsigned i) const {
+  assert(i < width_);
+  return (words_[i / 64] >> (i % 64)) & 1ULL;
+}
+
+void BitVec::setBit(unsigned i, bool v) {
+  assert(i < width_);
+  if (v)
+    words_[i / 64] |= (1ULL << (i % 64));
+  else
+    words_[i / 64] &= ~(1ULL << (i % 64));
+}
+
+BitVec BitVec::slice(unsigned lo, unsigned w) const {
+  assert(lo + w <= width_);
+  BitVec out(w);
+  for (unsigned i = 0; i < w; ++i) out.setBit(i, bit(lo + i));
+  return out;
+}
+
+void BitVec::setSlice(unsigned lo, const BitVec& v) {
+  assert(lo + v.width() <= width_);
+  for (unsigned i = 0; i < v.width(); ++i) setBit(lo + i, v.bit(i));
+}
+
+BitVec BitVec::concat(const BitVec& hi, const BitVec& lo) {
+  BitVec out(hi.width() + lo.width());
+  out.setSlice(0, lo);
+  out.setSlice(lo.width(), hi);
+  return out;
+}
+
+BitVec BitVec::resize(unsigned w) const {
+  BitVec out(w);
+  const unsigned n = std::min(w, width_);
+  for (unsigned i = 0; i < n; ++i) out.setBit(i, bit(i));
+  return out;
+}
+
+std::uint8_t BitVec::byte(unsigned i) const {
+  std::uint8_t b = 0;
+  for (unsigned k = 0; k < 8; ++k) {
+    const unsigned pos = i * 8 + k;
+    if (pos < width_ && bit(pos)) b |= static_cast<std::uint8_t>(1u << k);
+  }
+  return b;
+}
+
+void BitVec::setByte(unsigned i, std::uint8_t b) {
+  for (unsigned k = 0; k < 8; ++k) {
+    const unsigned pos = i * 8 + k;
+    if (pos < width_) setBit(pos, (b >> k) & 1);
+  }
+}
+
+std::vector<std::uint8_t> BitVec::toBytes() const {
+  std::vector<std::uint8_t> out((width_ + 7) / 8);
+  for (unsigned i = 0; i < out.size(); ++i) out[i] = byte(i);
+  return out;
+}
+
+BitVec BitVec::operator~() const {
+  BitVec out(width_);
+  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] = ~words_[i];
+  out.maskTop();
+  return out;
+}
+
+BitVec BitVec::operator&(const BitVec& o) const {
+  assert(width_ == o.width_);
+  BitVec out(width_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    out.words_[i] = words_[i] & o.words_[i];
+  return out;
+}
+
+BitVec BitVec::operator|(const BitVec& o) const {
+  assert(width_ == o.width_);
+  BitVec out(width_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    out.words_[i] = words_[i] | o.words_[i];
+  return out;
+}
+
+BitVec BitVec::operator^(const BitVec& o) const {
+  assert(width_ == o.width_);
+  BitVec out(width_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    out.words_[i] = words_[i] ^ o.words_[i];
+  return out;
+}
+
+BitVec BitVec::add(const BitVec& o) const {
+  assert(width_ == o.width_);
+  BitVec out(width_);
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const unsigned __int128 s =
+        static_cast<unsigned __int128>(words_[i]) + o.words_[i] + carry;
+    out.words_[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  out.maskTop();
+  return out;
+}
+
+BitVec BitVec::sub(const BitVec& o) const {
+  // a - b = a + ~b + 1 (mod 2^width)
+  return add((~o).add(BitVec(width_, 1)));
+}
+
+BitVec BitVec::shl(unsigned n) const {
+  BitVec out(width_);
+  for (unsigned i = n; i < width_; ++i) out.setBit(i, bit(i - n));
+  return out;
+}
+
+BitVec BitVec::shr(unsigned n) const {
+  BitVec out(width_);
+  for (unsigned i = 0; i + n < width_; ++i) out.setBit(i, bit(i + n));
+  return out;
+}
+
+bool BitVec::operator==(const BitVec& o) const {
+  return width_ == o.width_ && words_ == o.words_;
+}
+
+bool BitVec::ult(const BitVec& o) const {
+  assert(width_ == o.width_);
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != o.words_[i]) return words_[i] < o.words_[i];
+  }
+  return false;
+}
+
+unsigned BitVec::popcount() const {
+  unsigned n = 0;
+  for (auto w : words_) n += static_cast<unsigned>(__builtin_popcountll(w));
+  return n;
+}
+
+std::string BitVec::toHex() const {
+  if (width_ == 0) return "0";
+  const unsigned nibbles = (width_ + 3) / 4;
+  std::string s(nibbles, '0');
+  for (unsigned n = 0; n < nibbles; ++n) {
+    unsigned d = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+      const unsigned pos = n * 4 + b;
+      if (pos < width_ && bit(pos)) d |= (1u << b);
+    }
+    s[nibbles - 1 - n] = "0123456789abcdef"[d];
+  }
+  return s;
+}
+
+std::size_t BitVec::hash() const {
+  std::size_t h = width_ * 0x9e3779b97f4a7c15ULL;
+  for (auto w : words_) h = (h ^ w) * 0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace aesifc

@@ -1,0 +1,79 @@
+#pragma once
+// Arbitrary-width bit vector used as the universal value type of the HDL IR
+// and the behavioral accelerator model. Widths are fixed at construction;
+// all arithmetic truncates to the declared width (hardware semantics).
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aesifc {
+
+class BitVec {
+ public:
+  BitVec() = default;
+
+  // Zero-valued vector of `width` bits.
+  explicit BitVec(unsigned width) : width_{width}, words_(wordCount(width), 0) {}
+
+  // Vector of `width` bits holding `value` (truncated to the width).
+  BitVec(unsigned width, std::uint64_t value);
+
+  static BitVec fromBytes(const std::uint8_t* data, unsigned nbytes);
+  static BitVec fromHex(unsigned width, const std::string& hex);
+  static BitVec allOnes(unsigned width);
+
+  unsigned width() const { return width_; }
+  bool isZero() const;
+
+  // Low 64 bits (masked to width if width < 64).
+  std::uint64_t toU64() const;
+
+  bool bit(unsigned i) const;
+  void setBit(unsigned i, bool v);
+
+  // Bits [lo, lo+w) as a new vector.
+  BitVec slice(unsigned lo, unsigned w) const;
+  // In-place store of `v` into bits [lo, lo+v.width()).
+  void setSlice(unsigned lo, const BitVec& v);
+
+  // `hi` becomes the most significant part: {hi, lo}.
+  static BitVec concat(const BitVec& hi, const BitVec& lo);
+
+  // Zero-extend or truncate to `w` bits.
+  BitVec resize(unsigned w) const;
+
+  std::uint8_t byte(unsigned i) const;  // byte i, little-endian within the vector
+  void setByte(unsigned i, std::uint8_t b);
+  std::vector<std::uint8_t> toBytes() const;  // ceil(width/8) bytes, little-endian
+
+  // Bitwise / arithmetic (operands must have equal width).
+  BitVec operator~() const;
+  BitVec operator&(const BitVec& o) const;
+  BitVec operator|(const BitVec& o) const;
+  BitVec operator^(const BitVec& o) const;
+  BitVec add(const BitVec& o) const;  // modulo 2^width
+  BitVec sub(const BitVec& o) const;
+  BitVec shl(unsigned n) const;
+  BitVec shr(unsigned n) const;  // logical
+
+  bool operator==(const BitVec& o) const;
+  bool operator!=(const BitVec& o) const { return !(*this == o); }
+  // Unsigned comparison; operands must have equal width.
+  bool ult(const BitVec& o) const;
+
+  unsigned popcount() const;
+  std::string toHex() const;  // most-significant nibble first
+
+  std::size_t hash() const;
+
+ private:
+  static unsigned wordCount(unsigned width) { return (width + 63) / 64; }
+  void maskTop();
+
+  unsigned width_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace aesifc

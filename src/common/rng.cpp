@@ -1,0 +1,53 @@
+#include "common/rng.h"
+
+namespace aesifc {
+
+static std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+static inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  return next() % bound;
+}
+
+bool Rng::chance(double p) {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0) < p;
+}
+
+BitVec Rng::bits(unsigned width) {
+  BitVec v(width);
+  for (unsigned i = 0; i < width; i += 64) {
+    const unsigned w = std::min(64u, width - i);
+    BitVec chunk(w, next());
+    v.setSlice(i, chunk);
+  }
+  return v;
+}
+
+}  // namespace aesifc

@@ -1,0 +1,25 @@
+#pragma once
+// Deterministic PRNG used by workload generators, attack drivers, and
+// property tests. xoshiro256** — fast, reproducible across platforms.
+
+#include <cstdint>
+
+#include "common/bitvec.h"
+
+namespace aesifc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  std::uint64_t next();
+  // Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t bound);
+  bool chance(double p);  // true with probability p
+  BitVec bits(unsigned width);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace aesifc

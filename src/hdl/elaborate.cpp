@@ -1,0 +1,132 @@
+#include "hdl/elaborate.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace aesifc::hdl {
+
+InstanceResult instantiate(Module& parent, const Module& child,
+                           const std::string& inst,
+                           const std::map<std::string, ExprId>& bindings) {
+  child.validate();
+
+  // 1. Copy signals under the instance prefix; child inputs become wires
+  //    carrying the child's interface label (so bindings are checked).
+  std::vector<SignalId> sig_map(child.signals().size());
+  for (std::size_t i = 0; i < child.signals().size(); ++i) {
+    const auto& s = child.signals()[i];
+    const std::string name = inst + "__" + s.name;
+    if (parent.findSignal(name).valid())
+      throw std::logic_error("instantiate: name collision on '" + name + "'");
+    SignalId id;
+    switch (s.kind) {
+      case SignalKind::Input:
+      case SignalKind::Output:
+      case SignalKind::Wire:
+        id = parent.wire(name, s.width, s.label);
+        break;
+      case SignalKind::Reg:
+        id = parent.reg(name, s.width, s.label, s.reset);
+        break;
+    }
+    sig_map[i] = id;
+  }
+
+  // 2. Fix dependent-label selectors to point at the copied signals.
+  for (std::size_t i = 0; i < child.signals().size(); ++i) {
+    const auto& s = child.signals()[i];
+    if (s.label.kind != LabelTerm::Kind::Dependent) continue;
+    LabelTerm t = s.label;
+    t.selector = sig_map[t.selector.v];
+    parent.setLabel(sig_map[i], std::move(t));
+  }
+
+  // 3. Bind inputs: each child input wire is driven by the caller's
+  //    expression. The wire's annotation (the child's interface label)
+  //    makes the checker verify the flow at the boundary.
+  for (std::size_t i = 0; i < child.signals().size(); ++i) {
+    const auto& s = child.signals()[i];
+    if (s.kind != SignalKind::Input) continue;
+    auto it = bindings.find(s.name);
+    if (it == bindings.end())
+      throw std::logic_error("instantiate: unbound input '" + s.name + "'");
+    if (parent.expr(it->second).width != s.width)
+      throw std::logic_error("instantiate: width mismatch binding '" + s.name +
+                             "'");
+    parent.assign(sig_map[i], it->second);
+  }
+  for (const auto& [name, expr] : bindings) {
+    const SignalId cs = child.findSignal(name);
+    (void)expr;
+    if (!cs.valid() || child.signal(cs).kind != SignalKind::Input)
+      throw std::logic_error("instantiate: '" + name +
+                             "' is not an input of " + child.name());
+  }
+
+  // 4. Copy the expression arena (ids in a module are created in
+  //    dependency order, so a single forward pass suffices).
+  std::vector<ExprId> expr_map(child.exprs().size());
+  for (std::size_t i = 0; i < child.exprs().size(); ++i) {
+    Expr e = child.exprs()[i];
+    if (e.op == Op::SignalRef) {
+      expr_map[i] = parent.read(sig_map[e.sig.v]);
+      continue;
+    }
+    // Rebuild through the builder to keep parent invariants.
+    std::vector<ExprId> args;
+    args.reserve(e.args.size());
+    for (const auto a : e.args) args.push_back(expr_map[a.v]);
+    switch (e.op) {
+      case Op::Const: expr_map[i] = parent.c(e.cval); break;
+      case Op::Not: expr_map[i] = parent.bnot(args[0]); break;
+      case Op::And: expr_map[i] = parent.band(args[0], args[1]); break;
+      case Op::Or: expr_map[i] = parent.bor(args[0], args[1]); break;
+      case Op::Xor: expr_map[i] = parent.bxor(args[0], args[1]); break;
+      case Op::Add: expr_map[i] = parent.add(args[0], args[1]); break;
+      case Op::Sub: expr_map[i] = parent.sub(args[0], args[1]); break;
+      case Op::Eq: expr_map[i] = parent.eq(args[0], args[1]); break;
+      case Op::Ne: expr_map[i] = parent.ne(args[0], args[1]); break;
+      case Op::Ult: expr_map[i] = parent.ult(args[0], args[1]); break;
+      case Op::Mux:
+        expr_map[i] = parent.mux(args[0], args[1], args[2]);
+        break;
+      case Op::Concat: expr_map[i] = parent.concat(args[0], args[1]); break;
+      case Op::Slice:
+        expr_map[i] = parent.slice(args[0], e.lo, e.width);
+        break;
+      case Op::Lut: expr_map[i] = parent.lut(args[0], e.table); break;
+      case Op::RedOr: expr_map[i] = parent.redOr(args[0]); break;
+      case Op::RedAnd: expr_map[i] = parent.redAnd(args[0]); break;
+      case Op::SignalRef: break;  // handled above
+    }
+  }
+
+  // 5. Copy statements.
+  for (const auto& a : child.assigns()) {
+    parent.assign(sig_map[a.lhs.v], expr_map[a.rhs.v]);
+  }
+  for (const auto& rw : child.regWrites()) {
+    parent.regWrite(sig_map[rw.reg.v], expr_map[rw.next.v],
+                    expr_map[rw.enable.v]);
+  }
+  for (const auto& d : child.downgrades()) {
+    if (d.kind == lattice::DowngradeKind::Declassify) {
+      parent.declassify(sig_map[d.lhs.v], expr_map[d.value.v], d.to,
+                        d.principal, d.note);
+    } else {
+      parent.endorse(sig_map[d.lhs.v], expr_map[d.value.v], d.to, d.principal,
+                     d.note);
+    }
+  }
+
+  InstanceResult r;
+  for (std::size_t i = 0; i < child.signals().size(); ++i) {
+    const auto& s = child.signals()[i];
+    if (s.kind == SignalKind::Input || s.kind == SignalKind::Output) {
+      r.ports.emplace(s.name, sig_map[i]);
+    }
+  }
+  return r;
+}
+
+}  // namespace aesifc::hdl

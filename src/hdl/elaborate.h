@@ -1,0 +1,31 @@
+#pragma once
+// Module composition: instantiate (flatten) a child module inside a parent,
+// Chisel-elaboration style. The child's signals are copied under
+// `inst__name`; its input annotations become checked wire annotations in
+// the parent, so the static checker automatically verifies every binding
+// against the child's declared interface labels — modular verification by
+// construction.
+
+#include <map>
+#include <string>
+
+#include "hdl/ir.h"
+
+namespace aesifc::hdl {
+
+struct InstanceResult {
+  // Child port name -> the parent-side signal carrying it (inputs and
+  // outputs alike; internal signals are also accessible by prefixed name).
+  std::map<std::string, SignalId> ports;
+};
+
+// Inlines `child` into `parent` under instance name `inst`. Every child
+// input must be bound to a parent expression of matching width. Child
+// outputs become parent wires named `inst__<name>`. Dependent-label
+// selectors are remapped to the copied signals. Throws std::logic_error on
+// missing/mistyped bindings or name collisions.
+InstanceResult instantiate(Module& parent, const Module& child,
+                           const std::string& inst,
+                           const std::map<std::string, ExprId>& bindings);
+
+}  // namespace aesifc::hdl

@@ -1,0 +1,312 @@
+#include "hdl/eval.h"
+
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+namespace aesifc::hdl {
+
+namespace {
+
+// Expression DAGs share nodes heavily (e.g. MixColumns reads each byte four
+// times), so evaluation memoizes per node within one call — without this a
+// 10-round AES netlist costs ~4^10 redundant walks.
+BitVec evalExprMemo(const Module& m, ExprId id,
+                    const std::function<const BitVec&(SignalId)>& look,
+                    std::map<std::uint32_t, BitVec>& cache);
+
+BitVec evalExprRaw(const Module& m, ExprId id,
+                   const std::function<const BitVec&(SignalId)>& look,
+                   std::map<std::uint32_t, BitVec>& cache) {
+  auto evalExpr = [&](const Module& mm, ExprId e,
+                      const std::function<const BitVec&(SignalId)>& l) {
+    return evalExprMemo(mm, e, l, cache);
+  };
+  const Expr& e = m.expr(id);
+  switch (e.op) {
+    case Op::Const:
+      return e.cval;
+    case Op::SignalRef:
+      return look(e.sig);
+    case Op::Not:
+      return ~evalExpr(m, e.args[0], look);
+    case Op::And:
+      return evalExpr(m, e.args[0], look) & evalExpr(m, e.args[1], look);
+    case Op::Or:
+      return evalExpr(m, e.args[0], look) | evalExpr(m, e.args[1], look);
+    case Op::Xor:
+      return evalExpr(m, e.args[0], look) ^ evalExpr(m, e.args[1], look);
+    case Op::Add:
+      return evalExpr(m, e.args[0], look).add(evalExpr(m, e.args[1], look));
+    case Op::Sub:
+      return evalExpr(m, e.args[0], look).sub(evalExpr(m, e.args[1], look));
+    case Op::Eq:
+      return BitVec(1, evalExpr(m, e.args[0], look) ==
+                               evalExpr(m, e.args[1], look)
+                           ? 1
+                           : 0);
+    case Op::Ne:
+      return BitVec(1, evalExpr(m, e.args[0], look) ==
+                               evalExpr(m, e.args[1], look)
+                           ? 0
+                           : 1);
+    case Op::Ult:
+      return BitVec(
+          1, evalExpr(m, e.args[0], look).ult(evalExpr(m, e.args[1], look)) ? 1
+                                                                            : 0);
+    case Op::Mux:
+      return evalExpr(m, e.args[0], look).isZero()
+                 ? evalExpr(m, e.args[2], look)
+                 : evalExpr(m, e.args[1], look);
+    case Op::Concat:
+      return BitVec::concat(evalExpr(m, e.args[0], look),
+                            evalExpr(m, e.args[1], look));
+    case Op::Slice:
+      return evalExpr(m, e.args[0], look).slice(e.lo, e.width);
+    case Op::Lut: {
+      const std::uint64_t idx = evalExpr(m, e.args[0], look).toU64();
+      return e.table[idx];
+    }
+    case Op::RedOr:
+      return BitVec(1, evalExpr(m, e.args[0], look).isZero() ? 0 : 1);
+    case Op::RedAnd: {
+      const BitVec v = evalExpr(m, e.args[0], look);
+      return BitVec(1, v.popcount() == v.width() ? 1 : 0);
+    }
+  }
+  throw std::logic_error("evalExpr: unknown op");
+}
+
+BitVec evalExprMemo(const Module& m, ExprId id,
+                    const std::function<const BitVec&(SignalId)>& look,
+                    std::map<std::uint32_t, BitVec>& cache) {
+  if (auto it = cache.find(id.v); it != cache.end()) return it->second;
+  BitVec v = evalExprRaw(m, id, look, cache);
+  cache.emplace(id.v, v);
+  return v;
+}
+
+}  // namespace
+
+BitVec evalExpr(const Module& m, ExprId id,
+                const std::function<const BitVec&(SignalId)>& look) {
+  std::map<std::uint32_t, BitVec> cache;
+  return evalExprMemo(m, id, look, cache);
+}
+
+namespace {
+
+struct PeCtx {
+  const std::map<std::uint32_t, BitVec>& pinned;
+  std::set<std::uint32_t> visiting;
+  // Memoized results per expression node: expression DAGs share nodes, and
+  // an unmemoized walk is exponential on deep netlists.
+  std::map<std::uint32_t, std::optional<BitVec>> cache;
+};
+
+std::optional<BitVec> peSignal(const Module& m, SignalId s, PeCtx& ctx);
+
+std::optional<BitVec> peRaw(const Module& m, ExprId id, PeCtx& ctx);
+
+std::optional<BitVec> pe(const Module& m, ExprId id, PeCtx& ctx) {
+  if (auto it = ctx.cache.find(id.v); it != ctx.cache.end()) return it->second;
+  auto r = peRaw(m, id, ctx);
+  ctx.cache.emplace(id.v, r);
+  return r;
+}
+
+std::optional<BitVec> peRaw(const Module& m, ExprId id, PeCtx& ctx) {
+  const Expr& e = m.expr(id);
+  switch (e.op) {
+    case Op::Const:
+      return e.cval;
+    case Op::SignalRef:
+      return peSignal(m, e.sig, ctx);
+    case Op::Mux: {
+      // Short-circuit: a decided condition prunes the dead branch even if
+      // that branch is not evaluable.
+      auto cond = pe(m, e.args[0], ctx);
+      if (!cond) return std::nullopt;
+      return pe(m, cond->isZero() ? e.args[2] : e.args[1], ctx);
+    }
+    case Op::And:
+    case Op::Or: {
+      // Short-circuit: And with a known all-zero operand is zero, Or with a
+      // known all-ones operand is all-ones, even if the other side is
+      // unknown. This is what prunes tag-mismatch write enables to a
+      // constant during dependent-label checking.
+      auto a = pe(m, e.args[0], ctx);
+      auto b = pe(m, e.args[1], ctx);
+      if (e.op == Op::And) {
+        if ((a && a->isZero()) || (b && b->isZero())) return BitVec(e.width);
+        if (a && b) return *a & *b;
+        return std::nullopt;
+      }
+      const BitVec ones = BitVec::allOnes(e.width);
+      if ((a && *a == ones) || (b && *b == ones)) return ones;
+      if (a && b) return *a | *b;
+      return std::nullopt;
+    }
+    default: {
+      std::vector<BitVec> vals;
+      vals.reserve(e.args.size());
+      for (auto a : e.args) {
+        auto v = pe(m, a, ctx);
+        if (!v) return std::nullopt;
+        vals.push_back(std::move(*v));
+      }
+      switch (e.op) {
+        case Op::Not: return ~vals[0];
+        case Op::Xor: return vals[0] ^ vals[1];
+        case Op::Add: return vals[0].add(vals[1]);
+        case Op::Sub: return vals[0].sub(vals[1]);
+        case Op::Eq: return BitVec(1, vals[0] == vals[1] ? 1 : 0);
+        case Op::Ne: return BitVec(1, vals[0] == vals[1] ? 0 : 1);
+        case Op::Ult: return BitVec(1, vals[0].ult(vals[1]) ? 1 : 0);
+        case Op::Concat: return BitVec::concat(vals[0], vals[1]);
+        case Op::Slice: return vals[0].slice(e.lo, e.width);
+        case Op::Lut: return e.table[vals[0].toU64()];
+        case Op::RedOr: return BitVec(1, vals[0].isZero() ? 0 : 1);
+        case Op::RedAnd:
+          return BitVec(1, vals[0].popcount() == vals[0].width() ? 1 : 0);
+        default: break;
+      }
+      throw std::logic_error("partialEval: unknown op");
+    }
+  }
+}
+
+std::optional<BitVec> peSignal(const Module& m, SignalId s, PeCtx& ctx) {
+  if (auto it = ctx.pinned.find(s.v); it != ctx.pinned.end()) return it->second;
+  const Signal& sig = m.signal(s);
+  if (sig.kind == SignalKind::Wire || sig.kind == SignalKind::Output) {
+    if (ctx.visiting.count(s.v)) return std::nullopt;  // combinational cycle guard
+    ctx.visiting.insert(s.v);
+    std::optional<BitVec> r;
+    if (auto d = m.driverOf(s)) {
+      r = pe(m, *d, ctx);
+    } else if (auto dg = m.downgradeDriverOf(s)) {
+      r = pe(m, m.downgrades()[*dg].value, ctx);
+    }
+    ctx.visiting.erase(s.v);
+    return r;
+  }
+  return std::nullopt;  // un-pinned input or register
+}
+
+void collectLeaves(const Module& m, ExprId id, std::set<std::uint32_t>& wires,
+                   std::set<std::uint32_t>& leaves,
+                   std::set<std::uint32_t>& seen_exprs) {
+  if (!seen_exprs.insert(id.v).second) return;
+  const Expr& e = m.expr(id);
+  if (e.op == Op::SignalRef) {
+    const Signal& s = m.signal(e.sig);
+    if (s.kind == SignalKind::Wire || s.kind == SignalKind::Output) {
+      if (wires.insert(e.sig.v).second) {
+        if (auto d = m.driverOf(e.sig)) {
+          collectLeaves(m, *d, wires, leaves, seen_exprs);
+        } else if (auto dg = m.downgradeDriverOf(e.sig)) {
+          collectLeaves(m, m.downgrades()[*dg].value, wires, leaves, seen_exprs);
+        }
+      }
+    } else {
+      leaves.insert(e.sig.v);
+    }
+    return;
+  }
+  for (auto a : e.args) collectLeaves(m, a, wires, leaves, seen_exprs);
+}
+
+}  // namespace
+
+std::optional<BitVec> partialEval(const Module& m, ExprId e,
+                                  const std::map<std::uint32_t, BitVec>& pinned) {
+  PeCtx ctx{pinned, {}, {}};
+  return pe(m, e, ctx);
+}
+
+std::vector<SignalId> leafDeps(const Module& m, ExprId e) {
+  std::set<std::uint32_t> wires, leaves, seen_exprs;
+  collectLeaves(m, e, wires, leaves, seen_exprs);
+  std::vector<SignalId> out;
+  out.reserve(leaves.size());
+  for (auto v : leaves) out.push_back(SignalId{v});
+  return out;
+}
+
+namespace {
+
+// Wires directly read by an expression (not chased through drivers).
+void directWireReads(const Module& m, ExprId id, std::set<std::uint32_t>& out,
+                     std::set<std::uint32_t>& seen_exprs) {
+  if (!seen_exprs.insert(id.v).second) return;
+  const Expr& e = m.expr(id);
+  if (e.op == Op::SignalRef) {
+    const Signal& s = m.signal(e.sig);
+    if (s.kind == SignalKind::Wire || s.kind == SignalKind::Output)
+      out.insert(e.sig.v);
+    return;
+  }
+  for (auto a : e.args) directWireReads(m, a, out, seen_exprs);
+}
+
+}  // namespace
+
+CombSchedule scheduleCombinational(const Module& m) {
+  struct Node {
+    CombSchedule::Entry entry;
+    SignalId lhs;
+    std::set<std::uint32_t> reads;  // wire signals read
+  };
+  std::vector<Node> nodes;
+  for (std::size_t i = 0; i < m.assigns().size(); ++i) {
+    Node n;
+    n.entry = {false, i};
+    n.lhs = m.assigns()[i].lhs;
+    std::set<std::uint32_t> seen;
+    directWireReads(m, m.assigns()[i].rhs, n.reads, seen);
+    nodes.push_back(std::move(n));
+  }
+  for (std::size_t i = 0; i < m.downgrades().size(); ++i) {
+    Node n;
+    n.entry = {true, i};
+    n.lhs = m.downgrades()[i].lhs;
+    std::set<std::uint32_t> seen;
+    directWireReads(m, m.downgrades()[i].value, n.reads, seen);
+    nodes.push_back(std::move(n));
+  }
+
+  // Kahn's algorithm over producer->consumer edges.
+  std::map<std::uint32_t, std::size_t> producer;  // wire -> node index
+  for (std::size_t i = 0; i < nodes.size(); ++i) producer[nodes[i].lhs.v] = i;
+
+  std::vector<std::size_t> indeg(nodes.size(), 0);
+  std::vector<std::vector<std::size_t>> succ(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (auto w : nodes[i].reads) {
+      auto it = producer.find(w);
+      if (it != producer.end()) {
+        succ[it->second].push_back(i);
+        ++indeg[i];
+      }
+    }
+  }
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    if (indeg[i] == 0) ready.push_back(i);
+
+  CombSchedule sched;
+  while (!ready.empty()) {
+    const std::size_t i = ready.back();
+    ready.pop_back();
+    sched.order.push_back(nodes[i].entry);
+    for (auto s : succ[i]) {
+      if (--indeg[s] == 0) ready.push_back(s);
+    }
+  }
+  if (sched.order.size() != nodes.size())
+    throw std::logic_error(m.name() + ": combinational cycle detected");
+  return sched;
+}
+
+}  // namespace aesifc::hdl

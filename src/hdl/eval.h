@@ -1,0 +1,44 @@
+#pragma once
+// Expression evaluation and netlist scheduling shared by the cycle
+// simulator (src/sim) and the static checker's partial evaluator (src/ifc).
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "hdl/ir.h"
+
+namespace aesifc::hdl {
+
+// Full evaluation: `look` must return the value of any referenced signal.
+BitVec evalExpr(const Module& m, ExprId e,
+                const std::function<const BitVec&(SignalId)>& look);
+
+// Partial evaluation under a set of pinned signal values. Wires are chased
+// through their drivers (including downgrade drivers, which are
+// value-transparent). Returns nullopt when the value depends on an
+// un-pinned input/register.
+std::optional<BitVec> partialEval(const Module& m, ExprId e,
+                                  const std::map<std::uint32_t, BitVec>& pinned);
+
+// Signals (transitively) referenced by an expression, chasing wires through
+// their combinational drivers; reports only Input/Reg endpoints.
+std::vector<SignalId> leafDeps(const Module& m, ExprId e);
+
+// Order of `m.assigns()` indices such that every wire is computed before it
+// is read by a later assign. Downgrade drivers are scheduled via the
+// returned `downgrade_order` the same way. Throws on combinational cycles.
+struct CombSchedule {
+  // Interleaved schedule entries: {is_downgrade, index into assigns() or
+  // downgrades()}.
+  struct Entry {
+    bool is_downgrade = false;
+    std::size_t index = 0;
+  };
+  std::vector<Entry> order;
+};
+
+CombSchedule scheduleCombinational(const Module& m);
+
+}  // namespace aesifc::hdl

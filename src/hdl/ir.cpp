@@ -1,0 +1,291 @@
+#include "hdl/ir.h"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace aesifc::hdl {
+
+SignalId Module::input(const std::string& name, unsigned width, LabelTerm l) {
+  signals_.push_back({name, SignalKind::Input, width, std::move(l), BitVec{}});
+  return SignalId{static_cast<std::uint32_t>(signals_.size() - 1)};
+}
+
+SignalId Module::output(const std::string& name, unsigned width, LabelTerm l) {
+  signals_.push_back({name, SignalKind::Output, width, std::move(l), BitVec{}});
+  return SignalId{static_cast<std::uint32_t>(signals_.size() - 1)};
+}
+
+SignalId Module::wire(const std::string& name, unsigned width, LabelTerm l) {
+  signals_.push_back({name, SignalKind::Wire, width, std::move(l), BitVec{}});
+  return SignalId{static_cast<std::uint32_t>(signals_.size() - 1)};
+}
+
+SignalId Module::reg(const std::string& name, unsigned width, LabelTerm l,
+                     BitVec reset) {
+  if (reset.width() == 0) reset = BitVec(width);
+  signals_.push_back({name, SignalKind::Reg, width, std::move(l), std::move(reset)});
+  return SignalId{static_cast<std::uint32_t>(signals_.size() - 1)};
+}
+
+void Module::setLabel(SignalId s, LabelTerm l) {
+  signals_[s.v].label = std::move(l);
+}
+
+ExprId Module::addExpr(Expr e) {
+  exprs_.push_back(std::move(e));
+  return ExprId{static_cast<std::uint32_t>(exprs_.size() - 1)};
+}
+
+ExprId Module::c(unsigned width, std::uint64_t value) {
+  return c(BitVec(width, value));
+}
+
+ExprId Module::c(BitVec value) {
+  Expr e;
+  e.op = Op::Const;
+  e.width = value.width();
+  e.cval = std::move(value);
+  return addExpr(std::move(e));
+}
+
+ExprId Module::read(SignalId s) {
+  Expr e;
+  e.op = Op::SignalRef;
+  e.width = signal(s).width;
+  e.sig = s;
+  return addExpr(std::move(e));
+}
+
+ExprId Module::bnot(ExprId a) {
+  Expr e;
+  e.op = Op::Not;
+  e.width = expr(a).width;
+  e.args = {a};
+  return addExpr(std::move(e));
+}
+
+static Expr binop(Op op, unsigned width, ExprId a, ExprId b) {
+  Expr e;
+  e.op = op;
+  e.width = width;
+  e.args = {a, b};
+  return e;
+}
+
+ExprId Module::band(ExprId a, ExprId b) {
+  assert(expr(a).width == expr(b).width);
+  return addExpr(binop(Op::And, expr(a).width, a, b));
+}
+ExprId Module::bor(ExprId a, ExprId b) {
+  assert(expr(a).width == expr(b).width);
+  return addExpr(binop(Op::Or, expr(a).width, a, b));
+}
+ExprId Module::bxor(ExprId a, ExprId b) {
+  assert(expr(a).width == expr(b).width);
+  return addExpr(binop(Op::Xor, expr(a).width, a, b));
+}
+ExprId Module::add(ExprId a, ExprId b) {
+  assert(expr(a).width == expr(b).width);
+  return addExpr(binop(Op::Add, expr(a).width, a, b));
+}
+ExprId Module::sub(ExprId a, ExprId b) {
+  assert(expr(a).width == expr(b).width);
+  return addExpr(binop(Op::Sub, expr(a).width, a, b));
+}
+ExprId Module::eq(ExprId a, ExprId b) {
+  assert(expr(a).width == expr(b).width);
+  return addExpr(binop(Op::Eq, 1, a, b));
+}
+ExprId Module::ne(ExprId a, ExprId b) {
+  assert(expr(a).width == expr(b).width);
+  return addExpr(binop(Op::Ne, 1, a, b));
+}
+ExprId Module::ult(ExprId a, ExprId b) {
+  assert(expr(a).width == expr(b).width);
+  return addExpr(binop(Op::Ult, 1, a, b));
+}
+
+ExprId Module::mux(ExprId cond, ExprId then_e, ExprId else_e) {
+  assert(expr(cond).width == 1);
+  assert(expr(then_e).width == expr(else_e).width);
+  Expr e;
+  e.op = Op::Mux;
+  e.width = expr(then_e).width;
+  e.args = {cond, then_e, else_e};
+  return addExpr(std::move(e));
+}
+
+ExprId Module::concat(ExprId hi, ExprId lo) {
+  Expr e;
+  e.op = Op::Concat;
+  e.width = expr(hi).width + expr(lo).width;
+  e.args = {hi, lo};
+  return addExpr(std::move(e));
+}
+
+ExprId Module::slice(ExprId src, unsigned lo, unsigned width) {
+  assert(lo + width <= expr(src).width);
+  Expr e;
+  e.op = Op::Slice;
+  e.width = width;
+  e.args = {src};
+  e.lo = lo;
+  return addExpr(std::move(e));
+}
+
+ExprId Module::lut(ExprId index, std::vector<BitVec> table) {
+  assert(!table.empty());
+  assert(table.size() == (1ull << expr(index).width));
+  Expr e;
+  e.op = Op::Lut;
+  e.width = table[0].width();
+  e.args = {index};
+  e.table = std::move(table);
+  return addExpr(std::move(e));
+}
+
+ExprId Module::redOr(ExprId a) {
+  Expr e;
+  e.op = Op::RedOr;
+  e.width = 1;
+  e.args = {a};
+  return addExpr(std::move(e));
+}
+
+ExprId Module::redAnd(ExprId a) {
+  Expr e;
+  e.op = Op::RedAnd;
+  e.width = 1;
+  e.args = {a};
+  return addExpr(std::move(e));
+}
+
+void Module::assign(SignalId lhs, ExprId rhs) {
+  assert(signal(lhs).width == expr(rhs).width);
+  assigns_.push_back({lhs, rhs});
+}
+
+void Module::regWrite(SignalId r, ExprId next, ExprId enable) {
+  assert(signal(r).kind == SignalKind::Reg);
+  assert(signal(r).width == expr(next).width);
+  assert(expr(enable).width == 1);
+  reg_writes_.push_back({r, next, enable});
+}
+
+void Module::declassify(SignalId lhs, ExprId value, Label to, Principal p,
+                        std::string note) {
+  assert(signal(lhs).width == expr(value).width);
+  downgrades_.push_back({lattice::DowngradeKind::Declassify, lhs, value, to,
+                         std::move(p), std::move(note)});
+}
+
+void Module::endorse(SignalId lhs, ExprId value, Label to, Principal p,
+                     std::string note) {
+  assert(signal(lhs).width == expr(value).width);
+  downgrades_.push_back({lattice::DowngradeKind::Endorse, lhs, value, to,
+                         std::move(p), std::move(note)});
+}
+
+std::optional<ExprId> Module::driverOf(SignalId s) const {
+  for (const auto& a : assigns_) {
+    if (a.lhs == s) return a.rhs;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> Module::downgradeDriverOf(SignalId s) const {
+  for (std::size_t i = 0; i < downgrades_.size(); ++i) {
+    if (downgrades_[i].lhs == s) return i;
+  }
+  return std::nullopt;
+}
+
+SignalId Module::findSignal(const std::string& name) const {
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    if (signals_[i].name == name)
+      return SignalId{static_cast<std::uint32_t>(i)};
+  }
+  return SignalId{};
+}
+
+void Module::validate() const {
+  std::vector<int> drivers(signals_.size(), 0);
+  for (const auto& a : assigns_) {
+    const auto& s = signal(a.lhs);
+    if (s.kind != SignalKind::Wire && s.kind != SignalKind::Output)
+      throw std::logic_error(name_ + ": assign to non-wire '" + s.name + "'");
+    if (s.width != expr(a.rhs).width)
+      throw std::logic_error(name_ + ": width mismatch on '" + s.name + "'");
+    ++drivers[a.lhs.v];
+  }
+  for (const auto& d : downgrades_) {
+    const auto& s = signal(d.lhs);
+    if (s.kind != SignalKind::Wire && s.kind != SignalKind::Output)
+      throw std::logic_error(name_ + ": downgrade to non-wire '" + s.name + "'");
+    ++drivers[d.lhs.v];
+  }
+  // Multiple regWrites per register are allowed (priority: later wins when
+  // several enables are simultaneously true).
+  for (const auto& rw : reg_writes_) {
+    if (signal(rw.reg).kind != SignalKind::Reg)
+      throw std::logic_error(name_ + ": regWrite to non-reg '" +
+                             signal(rw.reg).name + "'");
+  }
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    const auto& s = signals_[i];
+    if ((s.kind == SignalKind::Wire || s.kind == SignalKind::Output) &&
+        drivers[i] > 1)
+      throw std::logic_error(name_ + ": multiple drivers on '" + s.name + "'");
+    if ((s.kind == SignalKind::Wire || s.kind == SignalKind::Output) &&
+        drivers[i] == 0)
+      throw std::logic_error(name_ + ": undriven wire/output '" + s.name + "'");
+    if (s.label.kind == LabelTerm::Kind::Dependent) {
+      if (!s.label.selector.valid())
+        throw std::logic_error(name_ + ": dependent label without selector on '" +
+                               s.name + "'");
+      const auto& sel = signal(s.label.selector);
+      if (sel.width > kMaxDepWidth)
+        throw std::logic_error(name_ + ": dependent-label selector '" + sel.name +
+                               "' wider than " + std::to_string(kMaxDepWidth));
+      if (s.label.by_value.size() != (1ull << sel.width))
+        throw std::logic_error(name_ + ": dependent label table size mismatch on '" +
+                               s.name + "'");
+    }
+  }
+}
+
+std::string Module::dump() const {
+  std::ostringstream os;
+  os << "module " << name_ << " {\n";
+  auto kindName = [](SignalKind k) {
+    switch (k) {
+      case SignalKind::Input: return "input";
+      case SignalKind::Output: return "output";
+      case SignalKind::Wire: return "wire";
+      case SignalKind::Reg: return "reg";
+    }
+    return "?";
+  };
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    const auto& s = signals_[i];
+    os << "  " << kindName(s.kind) << " [" << s.width << "] " << s.name;
+    switch (s.label.kind) {
+      case LabelTerm::Kind::Unconstrained:
+        break;
+      case LabelTerm::Kind::Static:
+        os << " : " << s.label.fixed.toString();
+        break;
+      case LabelTerm::Kind::Dependent:
+        os << " : DL(" << signal(s.label.selector).name << ")";
+        break;
+    }
+    os << "\n";
+  }
+  os << "  // " << assigns_.size() << " assigns, " << reg_writes_.size()
+     << " reg writes, " << downgrades_.size() << " downgrades\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace aesifc::hdl

@@ -1,0 +1,233 @@
+#pragma once
+// Security-typed RTL intermediate representation. This plays the role of
+// ChiselFlow in the paper: designers describe synchronous hardware (wires,
+// registers, expressions) and annotate signals with security labels that
+// are either static or *dependent* (indexed by the runtime value of another
+// signal, like ChiselFlow's DL(way) in Fig. 3). The static IFC checker in
+// src/ifc verifies the annotations; the simulator in src/sim executes the
+// design cycle-accurately.
+//
+// Design notes:
+//  - Modules are flat netlists. Structure comes from C++ builder functions
+//    that emit into a module (mirroring how Chisel elaborates to FIRRTL).
+//  - Expressions form an immutable DAG held in an arena inside the module.
+//  - Registers update on the single implicit clock; each register has an
+//    enable expression (constant 1 if always-on). Enables are *implicit
+//    flows into time*: the checker joins their labels into the register's
+//    label, which is what makes timing channels (Fig. 6, Fig. 8) visible
+//    to the analysis.
+//  - Downgrades (declassify/endorse) are explicit nodes naming the acting
+//    principal, checked against the nonmalleable rules (Eq. 1).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "lattice/downgrade.h"
+#include "lattice/label.h"
+
+namespace aesifc::hdl {
+
+using aesifc::BitVec;
+using lattice::Label;
+using lattice::Principal;
+
+// --- Strong IDs --------------------------------------------------------------
+
+struct SignalId {
+  std::uint32_t v = UINT32_MAX;
+  constexpr bool valid() const { return v != UINT32_MAX; }
+  constexpr bool operator==(const SignalId&) const = default;
+};
+
+struct ExprId {
+  std::uint32_t v = UINT32_MAX;
+  constexpr bool valid() const { return v != UINT32_MAX; }
+  constexpr bool operator==(const ExprId&) const = default;
+};
+
+// --- Labels on signals -------------------------------------------------------
+
+// A label annotation: absent (checker infers, no constraint), a static
+// label, or a dependent label DL(sel) resolved by the runtime value of a
+// selector signal (selector width <= kMaxDepWidth).
+struct LabelTerm {
+  enum class Kind { Unconstrained, Static, Dependent };
+
+  Kind kind = Kind::Unconstrained;
+  Label fixed{};                // Kind::Static
+  SignalId selector{};          // Kind::Dependent
+  std::vector<Label> by_value;  // Kind::Dependent: size == 2^width(selector)
+
+  static LabelTerm unconstrained() { return {}; }
+  static LabelTerm of(Label l) {
+    LabelTerm t;
+    t.kind = Kind::Static;
+    t.fixed = l;
+    return t;
+  }
+  static LabelTerm dependent(SignalId sel, std::vector<Label> table) {
+    LabelTerm t;
+    t.kind = Kind::Dependent;
+    t.selector = sel;
+    t.by_value = std::move(table);
+    return t;
+  }
+};
+
+inline constexpr unsigned kMaxDepWidth = 4;  // selectors enumerate <= 16 values
+
+// --- Signals -----------------------------------------------------------------
+
+enum class SignalKind { Input, Output, Wire, Reg };
+
+struct Signal {
+  std::string name;
+  SignalKind kind = SignalKind::Wire;
+  unsigned width = 1;
+  LabelTerm label;
+  BitVec reset;  // Reg only: power-on value (defaults to zero)
+};
+
+// --- Expressions -------------------------------------------------------------
+
+enum class Op {
+  Const,      // cval
+  SignalRef,  // sig
+  Not,
+  And,
+  Or,
+  Xor,
+  Add,
+  Sub,
+  Eq,    // 1-bit result
+  Ne,    // 1-bit result
+  Ult,   // 1-bit result, unsigned <
+  Mux,   // args: {cond(1b), then, else}
+  Concat,  // args: {hi, lo}
+  Slice,   // args: {src}, bits [lo, lo+width)
+  Lut,     // args: {index}; table lookup, width = table entry width
+  RedOr,   // 1-bit reduction
+  RedAnd,  // 1-bit reduction
+};
+
+struct Expr {
+  Op op = Op::Const;
+  unsigned width = 1;
+  std::vector<ExprId> args;
+  BitVec cval;          // Const
+  SignalId sig{};       // SignalRef
+  unsigned lo = 0;      // Slice
+  std::vector<BitVec> table;  // Lut: size == 2^width(index)
+};
+
+// --- Statements --------------------------------------------------------------
+
+// Continuous assignment driving a Wire or Output.
+struct Assign {
+  SignalId lhs{};
+  ExprId rhs{};
+};
+
+// Synchronous register update: on every cycle, if enable then reg <= next.
+struct RegWrite {
+  SignalId reg{};
+  ExprId next{};
+  ExprId enable{};
+};
+
+// Explicit downgrade: lhs (a Wire/Output) receives `value` relabeled to
+// `to`, performed by `principal`. Statically checked to be nonmalleable.
+struct Downgrade {
+  lattice::DowngradeKind kind = lattice::DowngradeKind::Declassify;
+  SignalId lhs{};
+  ExprId value{};
+  Label to{};
+  Principal principal{};
+  std::string note;
+};
+
+// --- Module ------------------------------------------------------------------
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_{std::move(name)} {}
+
+  const std::string& name() const { return name_; }
+
+  // Signal constructors.
+  SignalId input(const std::string& name, unsigned width, LabelTerm l);
+  SignalId output(const std::string& name, unsigned width, LabelTerm l);
+  SignalId wire(const std::string& name, unsigned width,
+                LabelTerm l = LabelTerm::unconstrained());
+  SignalId reg(const std::string& name, unsigned width,
+               LabelTerm l = LabelTerm::unconstrained(), BitVec reset = {});
+
+  // Replace a signal's label annotation after creation. Needed for
+  // self-dependent labels (a tag register whose label is indexed by its own
+  // value), where the SignalId must exist before the term can name it.
+  void setLabel(SignalId s, LabelTerm l);
+
+  // Expression constructors.
+  ExprId c(unsigned width, std::uint64_t value);
+  ExprId c(BitVec value);
+  ExprId read(SignalId s);
+  ExprId bnot(ExprId a);
+  ExprId band(ExprId a, ExprId b);
+  ExprId bor(ExprId a, ExprId b);
+  ExprId bxor(ExprId a, ExprId b);
+  ExprId add(ExprId a, ExprId b);
+  ExprId sub(ExprId a, ExprId b);
+  ExprId eq(ExprId a, ExprId b);
+  ExprId ne(ExprId a, ExprId b);
+  ExprId ult(ExprId a, ExprId b);
+  ExprId mux(ExprId cond, ExprId then_e, ExprId else_e);
+  ExprId concat(ExprId hi, ExprId lo);
+  ExprId slice(ExprId src, unsigned lo, unsigned width);
+  ExprId lut(ExprId index, std::vector<BitVec> table);
+  ExprId redOr(ExprId a);
+  ExprId redAnd(ExprId a);
+
+  // Statements.
+  void assign(SignalId lhs, ExprId rhs);
+  void regWrite(SignalId r, ExprId next, ExprId enable);
+  void regWrite(SignalId r, ExprId next) { regWrite(r, next, c(1, 1)); }
+  void declassify(SignalId lhs, ExprId value, Label to, Principal p,
+                  std::string note = {});
+  void endorse(SignalId lhs, ExprId value, Label to, Principal p,
+               std::string note = {});
+
+  // Accessors used by the checker / simulator / area model.
+  const std::vector<Signal>& signals() const { return signals_; }
+  const Signal& signal(SignalId id) const { return signals_[id.v]; }
+  const std::vector<Expr>& exprs() const { return exprs_; }
+  const Expr& expr(ExprId id) const { return exprs_[id.v]; }
+  const std::vector<Assign>& assigns() const { return assigns_; }
+  const std::vector<RegWrite>& regWrites() const { return reg_writes_; }
+  const std::vector<Downgrade>& downgrades() const { return downgrades_; }
+
+  // The unique driver of a wire/output, if any (Assign or Downgrade index).
+  std::optional<ExprId> driverOf(SignalId s) const;
+  std::optional<std::size_t> downgradeDriverOf(SignalId s) const;
+  SignalId findSignal(const std::string& name) const;
+
+  // Structural sanity checks (single driver per wire, widths, selector
+  // widths, table sizes). Throws std::logic_error on malformed IR.
+  void validate() const;
+
+  std::string dump() const;  // human-readable netlist listing
+
+ private:
+  ExprId addExpr(Expr e);
+
+  std::string name_;
+  std::vector<Signal> signals_;
+  std::vector<Expr> exprs_;
+  std::vector<Assign> assigns_;
+  std::vector<RegWrite> reg_writes_;
+  std::vector<Downgrade> downgrades_;
+};
+
+}  // namespace aesifc::hdl

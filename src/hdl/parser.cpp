@@ -1,0 +1,815 @@
+#include "hdl/parser.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "hdl/elaborate.h"
+
+namespace aesifc::hdl {
+
+namespace {
+
+using lattice::CatSet;
+using lattice::Conf;
+using lattice::Integ;
+using lattice::Label;
+using lattice::Principal;
+
+// --- Lexer --------------------------------------------------------------------
+
+enum class Tok {
+  Ident,
+  Number,       // plain decimal
+  SizedNumber,  // 8'hff / 4'd12 / 1'b1
+  Punct,
+  Eof,
+};
+
+struct Token {
+  Tok kind = Tok::Eof;
+  std::string text;          // identifier, punct spelling
+  std::uint64_t value = 0;   // numeric value
+  unsigned width = 0;        // sized literal width
+  unsigned line = 1, col = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_{src} { advance(); }
+
+  const Token& peek() const { return tok_; }
+
+  Token take() {
+    Token t = tok_;
+    advance();
+    return t;
+  }
+
+ private:
+  void error(const std::string& msg) const { throw ParseError(msg, line_, col_); }
+
+  int cur() const {
+    return pos_ < src_.size() ? static_cast<unsigned char>(src_[pos_]) : -1;
+  }
+
+  void bump() {
+    if (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') {
+        ++line_;
+        col_ = 1;
+      } else {
+        ++col_;
+      }
+      ++pos_;
+    }
+  }
+
+  void skipSpace() {
+    for (;;) {
+      while (std::isspace(cur())) bump();
+      if (cur() == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (cur() != -1 && cur() != '\n') bump();
+        continue;
+      }
+      break;
+    }
+  }
+
+  void advance() {
+    skipSpace();
+    tok_ = Token{};
+    tok_.line = line_;
+    tok_.col = col_;
+    const int c = cur();
+    if (c == -1) {
+      tok_.kind = Tok::Eof;
+      return;
+    }
+    if (std::isalpha(c) || c == '_') {
+      std::string s;
+      while (std::isalnum(cur()) || cur() == '_') {
+        s += static_cast<char>(cur());
+        bump();
+      }
+      tok_.kind = Tok::Ident;
+      tok_.text = std::move(s);
+      return;
+    }
+    if (std::isdigit(c)) {
+      std::uint64_t v = 0;
+      while (std::isdigit(cur())) {
+        v = v * 10 + static_cast<std::uint64_t>(cur() - '0');
+        bump();
+      }
+      if (cur() == '\'') {
+        bump();
+        const int base = cur();
+        bump();
+        std::uint64_t val = 0;
+        if (base == 'h' || base == 'H') {
+          if (!std::isxdigit(cur())) error("expected hex digits after 'h");
+          while (std::isxdigit(cur())) {
+            const int d = cur();
+            val = val * 16 +
+                  static_cast<std::uint64_t>(
+                      std::isdigit(d) ? d - '0' : std::tolower(d) - 'a' + 10);
+            bump();
+          }
+        } else if (base == 'd' || base == 'D') {
+          if (!std::isdigit(cur())) error("expected digits after 'd");
+          while (std::isdigit(cur())) {
+            val = val * 10 + static_cast<std::uint64_t>(cur() - '0');
+            bump();
+          }
+        } else if (base == 'b' || base == 'B') {
+          if (cur() != '0' && cur() != '1') error("expected bits after 'b");
+          while (cur() == '0' || cur() == '1') {
+            val = val * 2 + static_cast<std::uint64_t>(cur() - '0');
+            bump();
+          }
+        } else {
+          error("unknown literal base (use 'h, 'd or 'b)");
+        }
+        if (v == 0 || v > 64) error("literal width must be 1..64");
+        tok_.kind = Tok::SizedNumber;
+        tok_.width = static_cast<unsigned>(v);
+        tok_.value = val;
+        return;
+      }
+      tok_.kind = Tok::Number;
+      tok_.value = v;
+      return;
+    }
+    // Multi-char puncts first.
+    static const char* kTwo[] = {"<=", "==", "!="};
+    for (const char* p : kTwo) {
+      if (c == p[0] && pos_ + 1 < src_.size() && src_[pos_ + 1] == p[1]) {
+        tok_.kind = Tok::Punct;
+        tok_.text = p;
+        bump();
+        bump();
+        return;
+      }
+    }
+    tok_.kind = Tok::Punct;
+    tok_.text = std::string(1, static_cast<char>(c));
+    bump();
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  unsigned line_ = 1, col_ = 1;
+  Token tok_;
+};
+
+// --- Parser --------------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(const std::string& src, const std::vector<Module>* library)
+      : lex_{src}, library_{library} {}
+
+  bool atEof() const { return lex_.peek().kind == Tok::Eof; }
+
+  Module run() {
+    symbols_.clear();
+    expectIdent("module");
+    const Token name = expect(Tok::Ident, "module name");
+    Module m{name.text};
+    expectPunct("{");
+    while (!isPunct("}")) {
+      parseDecl(m);
+    }
+    expectPunct("}");
+    return m;
+  }
+
+ private:
+  [[noreturn]] void error(const std::string& msg, const Token& at) const {
+    throw ParseError(msg, at.line, at.col);
+  }
+
+  bool isPunct(const std::string& p) const {
+    return lex_.peek().kind == Tok::Punct && lex_.peek().text == p;
+  }
+  bool isIdent(const std::string& s) const {
+    return lex_.peek().kind == Tok::Ident && lex_.peek().text == s;
+  }
+
+  Token expect(Tok kind, const std::string& what) {
+    if (lex_.peek().kind != kind) error("expected " + what, lex_.peek());
+    return lex_.take();
+  }
+  void expectPunct(const std::string& p) {
+    if (!isPunct(p)) error("expected '" + p + "'", lex_.peek());
+    lex_.take();
+  }
+  void expectIdent(const std::string& s) {
+    if (!isIdent(s)) error("expected '" + s + "'", lex_.peek());
+    lex_.take();
+  }
+
+  SignalId lookup(Module& m, const Token& name) {
+    auto it = symbols_.find(name.text);
+    if (it == symbols_.end())
+      error("unknown signal '" + name.text + "'", name);
+    (void)m;
+    return it->second;
+  }
+
+  // --- labels ----------------------------------------------------------------
+
+  CatSet parseCatSet() {
+    expectPunct("{");
+    CatSet s = CatSet::none();
+    for (;;) {
+      const Token n = expect(Tok::Number, "category index");
+      if (n.value >= lattice::kMaxCategories)
+        error("category out of range", n);
+      s = s.unionWith(CatSet::category(static_cast<unsigned>(n.value)));
+      if (isPunct(",")) {
+        lex_.take();
+        continue;
+      }
+      break;
+    }
+    expectPunct("}");
+    return s;
+  }
+
+  // Parses the "<k>" suffix of a chain-level atom like CL4 / IL2 (the
+  // lexer folds it into the identifier).
+  unsigned levelSuffix(const Token& t, std::size_t prefix_len) {
+    unsigned v = 0;
+    for (std::size_t i = prefix_len; i < t.text.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(t.text[i])))
+        error("bad level atom '" + t.text + "'", t);
+      v = v * 10 + static_cast<unsigned>(t.text[i] - '0');
+    }
+    if (v > lattice::kMaxCategories) error("level out of range", t);
+    return v;
+  }
+
+  Conf parseConf() {
+    const Token t = expect(Tok::Ident, "confidentiality atom");
+    if (t.text == "PUB") return Conf::bottom();
+    if (t.text == "SEC") return Conf::top();
+    if (t.text == "C") return Conf{parseCatSet()};
+    if (t.text.size() > 2 && t.text.compare(0, 2, "CL") == 0)
+      return Conf::level(levelSuffix(t, 2));
+    error("unknown confidentiality atom '" + t.text + "'", t);
+  }
+
+  Integ parseInteg() {
+    const Token t = expect(Tok::Ident, "integrity atom");
+    if (t.text == "TRU") return Integ::top();
+    if (t.text == "UNT") return Integ::bottom();
+    if (t.text == "I") return Integ{parseCatSet()};
+    if (t.text.size() > 2 && t.text.compare(0, 2, "IL") == 0)
+      return Integ::level(levelSuffix(t, 2));
+    error("unknown integrity atom '" + t.text + "'", t);
+  }
+
+  Label parseLabel() {
+    expectPunct("(");
+    const Conf c = parseConf();
+    expectPunct(",");
+    const Integ i = parseInteg();
+    expectPunct(")");
+    return Label{c, i};
+  }
+
+  LabelTerm parseLabelTerm(Module& m) {
+    if (isIdent("DL")) {
+      const Token dl = lex_.take();
+      expectPunct("(");
+      const Token sel_name = expect(Tok::Ident, "selector name");
+      const SignalId sel = lookup(m, sel_name);
+      expectPunct(")");
+      expectPunct("{");
+      std::vector<Label> table;
+      for (;;) {
+        table.push_back(parseLabel());
+        if (isPunct(",")) {
+          lex_.take();
+          continue;
+        }
+        break;
+      }
+      expectPunct("}");
+      const auto need = 1ull << m.signal(sel).width;
+      if (table.size() != need)
+        error("dependent label table needs " + std::to_string(need) +
+                  " entries for selector '" + sel_name.text + "'",
+              dl);
+      return LabelTerm::dependent(sel, std::move(table));
+    }
+    return LabelTerm::of(parseLabel());
+  }
+
+  // --- expressions --------------------------------------------------------------
+
+  ExprId parseExpr(Module& m) { return parseOr(m); }
+
+  void requireSameWidth(Module& m, ExprId a, ExprId b, const Token& at) {
+    if (m.expr(a).width != m.expr(b).width) {
+      error("width mismatch: " + std::to_string(m.expr(a).width) + " vs " +
+                std::to_string(m.expr(b).width),
+            at);
+    }
+  }
+
+  ExprId parseOr(Module& m) {
+    ExprId a = parseXor(m);
+    while (isPunct("|")) {
+      const Token op = lex_.take();
+      ExprId b = parseXor(m);
+      requireSameWidth(m, a, b, op);
+      a = m.bor(a, b);
+    }
+    return a;
+  }
+
+  ExprId parseXor(Module& m) {
+    ExprId a = parseAnd(m);
+    while (isPunct("^")) {
+      const Token op = lex_.take();
+      ExprId b = parseAnd(m);
+      requireSameWidth(m, a, b, op);
+      a = m.bxor(a, b);
+    }
+    return a;
+  }
+
+  ExprId parseAnd(Module& m) {
+    ExprId a = parseEquality(m);
+    while (isPunct("&")) {
+      const Token op = lex_.take();
+      ExprId b = parseEquality(m);
+      requireSameWidth(m, a, b, op);
+      a = m.band(a, b);
+    }
+    return a;
+  }
+
+  ExprId parseEquality(Module& m) {
+    ExprId a = parseRelational(m);
+    while (isPunct("==") || isPunct("!=")) {
+      const Token op = lex_.take();
+      ExprId b = parseRelational(m);
+      requireSameWidth(m, a, b, op);
+      a = op.text == "==" ? m.eq(a, b) : m.ne(a, b);
+    }
+    return a;
+  }
+
+  ExprId parseRelational(Module& m) {
+    ExprId a = parseAdditive(m);
+    while (isPunct("<")) {
+      const Token op = lex_.take();
+      ExprId b = parseAdditive(m);
+      requireSameWidth(m, a, b, op);
+      a = m.ult(a, b);
+    }
+    return a;
+  }
+
+  ExprId parseAdditive(Module& m) {
+    ExprId a = parseUnary(m);
+    while (isPunct("+") || isPunct("-")) {
+      const Token op = lex_.take();
+      ExprId b = parseUnary(m);
+      requireSameWidth(m, a, b, op);
+      a = op.text == "+" ? m.add(a, b) : m.sub(a, b);
+    }
+    return a;
+  }
+
+  ExprId parseUnary(Module& m) {
+    if (isPunct("~")) {
+      lex_.take();
+      return m.bnot(parseUnary(m));
+    }
+    if (isPunct("|")) {  // prefix reduction
+      lex_.take();
+      return m.redOr(parseUnary(m));
+    }
+    if (isPunct("&")) {
+      lex_.take();
+      return m.redAnd(parseUnary(m));
+    }
+    return parsePostfix(m);
+  }
+
+  ExprId parsePostfix(Module& m) {
+    ExprId e = parsePrimary(m);
+    while (isPunct("[")) {
+      const Token open = lex_.take();
+      const Token hi = expect(Tok::Number, "bit index");
+      unsigned lo_v = static_cast<unsigned>(hi.value);
+      unsigned hi_v = lo_v;
+      if (isPunct(":")) {
+        lex_.take();
+        const Token lo = expect(Tok::Number, "low bit index");
+        lo_v = static_cast<unsigned>(lo.value);
+        hi_v = static_cast<unsigned>(hi.value);
+      }
+      expectPunct("]");
+      if (hi_v < lo_v || hi_v >= m.expr(e).width)
+        error("slice out of range", open);
+      e = m.slice(e, lo_v, hi_v - lo_v + 1);
+    }
+    return e;
+  }
+
+  ExprId parsePrimary(Module& m) {
+    const Token& t = lex_.peek();
+    if (t.kind == Tok::SizedNumber) {
+      const Token lit = lex_.take();
+      if (lit.width < 64 && lit.value >= (1ull << lit.width))
+        error("literal value does not fit its width", lit);
+      return m.c(lit.width, lit.value);
+    }
+    if (t.kind == Tok::Number) {
+      error("unsized literal in expression (write e.g. 8'd5)", t);
+    }
+    if (isPunct("(")) {
+      lex_.take();
+      const ExprId e = parseExpr(m);
+      expectPunct(")");
+      return e;
+    }
+    if (isPunct("{")) {  // concat: {hi, ..., lo}
+      lex_.take();
+      std::vector<ExprId> parts;
+      for (;;) {
+        parts.push_back(parseExpr(m));
+        if (isPunct(",")) {
+          lex_.take();
+          continue;
+        }
+        break;
+      }
+      expectPunct("}");
+      ExprId acc = parts.back();
+      for (std::size_t i = parts.size() - 1; i-- > 0;) {
+        acc = m.concat(parts[i], acc);
+      }
+      return acc;
+    }
+    if (t.kind == Tok::Ident) {
+      if (t.text == "mux") {
+        lex_.take();
+        expectPunct("(");
+        const Token at = lex_.peek();
+        const ExprId c = parseExpr(m);
+        if (m.expr(c).width != 1) error("mux condition must be 1 bit", at);
+        expectPunct(",");
+        const ExprId a = parseExpr(m);
+        expectPunct(",");
+        const ExprId b = parseExpr(m);
+        requireSameWidth(m, a, b, at);
+        expectPunct(")");
+        return m.mux(c, a, b);
+      }
+      const Token name = lex_.take();
+      return m.read(lookup(m, name));
+    }
+    error("expected expression", t);
+  }
+
+  // --- declarations ---------------------------------------------------------------
+
+  void declareSignal(Module& m, SignalKind kind) {
+    const Token name = expect(Tok::Ident, "signal name");
+    if (symbols_.count(name.text))
+      error("duplicate signal '" + name.text + "'", name);
+    expectPunct(":");
+    const Token w = expect(Tok::Number, "width");
+    if (w.value == 0 || w.value > 4096) error("bad width", w);
+    const unsigned width = static_cast<unsigned>(w.value);
+
+    LabelTerm term = LabelTerm::unconstrained();
+    if (isIdent("label")) {
+      lex_.take();
+      term = parseLabelTerm(m);
+    }
+
+    BitVec reset;
+    if (isIdent("reset")) {
+      lex_.take();
+      const Token& rt = lex_.peek();
+      if (rt.kind == Tok::SizedNumber) {
+        const Token lit = lex_.take();
+        if (lit.width != width) error("reset width mismatch", lit);
+        reset = BitVec(width, lit.value);
+      } else {
+        const Token lit = expect(Tok::Number, "reset value");
+        reset = BitVec(width, lit.value);
+      }
+      if (kind != SignalKind::Reg) error("only regs take a reset", rt);
+    }
+    expectPunct(";");
+
+    SignalId id;
+    switch (kind) {
+      case SignalKind::Input: id = m.input(name.text, width, term); break;
+      case SignalKind::Output: id = m.output(name.text, width, term); break;
+      case SignalKind::Wire: id = m.wire(name.text, width, term); break;
+      case SignalKind::Reg: id = m.reg(name.text, width, term, reset); break;
+    }
+    symbols_.emplace(name.text, id);
+  }
+
+  Principal parsePrincipal() {
+    const Token name = expect(Tok::Ident, "principal");
+    if (name.text == "supervisor") return Principal::supervisor();
+    const Label l = parseLabel();
+    return Principal{name.text, l};
+  }
+
+  void parseDowngrade(Module& m, bool declass) {
+    const Token target = expect(Tok::Ident, "downgrade target");
+    const SignalId lhs = lookup(m, target);
+    expectPunct("=");
+    const ExprId value = parseExpr(m);
+    if (m.expr(value).width != m.signal(lhs).width)
+      error("downgrade width mismatch", target);
+    expectIdent("to");
+    const Label to = parseLabel();
+    expectIdent("by");
+    const Principal p = parsePrincipal();
+    expectPunct(";");
+    if (declass) {
+      m.declassify(lhs, value, to, p);
+    } else {
+      m.endorse(lhs, value, to, p);
+    }
+  }
+
+  void parseDecl(Module& m) {
+    const Token& t = lex_.peek();
+    if (t.kind != Tok::Ident) error("expected declaration", t);
+    if (t.text == "input") {
+      lex_.take();
+      declareSignal(m, SignalKind::Input);
+    } else if (t.text == "output") {
+      lex_.take();
+      declareSignal(m, SignalKind::Output);
+    } else if (t.text == "wire") {
+      lex_.take();
+      declareSignal(m, SignalKind::Wire);
+    } else if (t.text == "reg") {
+      lex_.take();
+      declareSignal(m, SignalKind::Reg);
+    } else if (t.text == "assign") {
+      lex_.take();
+      const Token name = expect(Tok::Ident, "assign target");
+      const SignalId lhs = lookup(m, name);
+      expectPunct("=");
+      const ExprId rhs = parseExpr(m);
+      if (m.expr(rhs).width != m.signal(lhs).width)
+        error("assign width mismatch on '" + name.text + "'", name);
+      expectPunct(";");
+      m.assign(lhs, rhs);
+    } else if (t.text == "declassify") {
+      lex_.take();
+      parseDowngrade(m, true);
+    } else if (t.text == "endorse") {
+      lex_.take();
+      parseDowngrade(m, false);
+    } else if (t.text == "inst") {
+      lex_.take();
+      parseInstance(m);
+    } else {
+      // reg write: NAME <= expr [when expr] ;
+      const Token name = lex_.take();
+      const SignalId reg = lookup(m, name);
+      if (m.signal(reg).kind != SignalKind::Reg)
+        error("'" + name.text + "' is not a register", name);
+      if (!isPunct("<=")) error("expected '<=' after register name", lex_.peek());
+      lex_.take();
+      const ExprId next = parseExpr(m);
+      if (m.expr(next).width != m.signal(reg).width)
+        error("register write width mismatch", name);
+      ExprId enable = m.c(1, 1);
+      if (isIdent("when")) {
+        lex_.take();
+        const Token at = lex_.peek();
+        enable = parseExpr(m);
+        if (m.expr(enable).width != 1)
+          error("when-condition must be 1 bit", at);
+      }
+      expectPunct(";");
+      m.regWrite(reg, next, enable);
+    }
+  }
+
+  // inst NAME = MODNAME ( port: expr [, port: expr]* ) ;
+  void parseInstance(Module& m) {
+    const Token iname = expect(Tok::Ident, "instance name");
+    expectPunct("=");
+    const Token mod = expect(Tok::Ident, "module name");
+    const Module* child = nullptr;
+    if (library_ != nullptr) {
+      for (const auto& c : *library_) {
+        if (c.name() == mod.text) child = &c;
+      }
+    }
+    if (child == nullptr)
+      error("unknown module '" + mod.text + "'", mod);
+
+    std::map<std::string, ExprId> bindings;
+    expectPunct("(");
+    if (!isPunct(")")) {
+      for (;;) {
+        const Token port = expect(Tok::Ident, "port name");
+        expectPunct(":");
+        bindings.emplace(port.text, parseExpr(m));
+        if (isPunct(",")) {
+          lex_.take();
+          continue;
+        }
+        break;
+      }
+    }
+    expectPunct(")");
+    expectPunct(";");
+
+    try {
+      const auto r = instantiate(m, *child, iname.text, bindings);
+      for (const auto& [port, id] : r.ports) {
+        symbols_.emplace(iname.text + "__" + port, id);
+      }
+    } catch (const std::logic_error& e) {
+      error(std::string("instantiation failed: ") + e.what(), iname);
+    }
+  }
+
+  Lexer lex_;
+  const std::vector<Module>* library_;
+  std::map<std::string, SignalId> symbols_;
+};
+
+// --- Emitter -------------------------------------------------------------------
+
+std::string catSetText(CatSet s) {
+  std::string out = "{";
+  bool first = true;
+  for (unsigned i = 0; i < lattice::kMaxCategories; ++i) {
+    if (s.mask() & (1u << i)) {
+      if (!first) out += ",";
+      out += std::to_string(i);
+      first = false;
+    }
+  }
+  return out + "}";
+}
+
+std::string confText(Conf c) {
+  if (c == Conf::bottom()) return "PUB";
+  if (c == Conf::top()) return "SEC";
+  return "C" + catSetText(c.cats);
+}
+
+std::string integText(Integ i) {
+  if (i == Integ::top()) return "TRU";
+  if (i == Integ::bottom()) return "UNT";
+  return "I" + catSetText(i.cats);
+}
+
+std::string labelText(const Label& l) {
+  return "(" + confText(l.c) + ", " + integText(l.i) + ")";
+}
+
+std::string exprText(const Module& m, ExprId id) {
+  const Expr& e = m.expr(id);
+  auto bin = [&](const char* op) {
+    return "(" + exprText(m, e.args[0]) + " " + op + " " +
+           exprText(m, e.args[1]) + ")";
+  };
+  switch (e.op) {
+    case Op::Const: {
+      if (e.width > 64)
+        throw std::logic_error("emitModule: constant wider than 64 bits");
+      std::ostringstream os;
+      os << e.width << "'h" << std::hex << e.cval.toU64();
+      return os.str();
+    }
+    case Op::SignalRef: return m.signal(e.sig).name;
+    case Op::Not: return "(~" + exprText(m, e.args[0]) + ")";
+    case Op::And: return bin("&");
+    case Op::Or: return bin("|");
+    case Op::Xor: return bin("^");
+    case Op::Add: return bin("+");
+    case Op::Sub: return bin("-");
+    case Op::Eq: return bin("==");
+    case Op::Ne: return bin("!=");
+    case Op::Ult: return bin("<");
+    case Op::Mux:
+      return "mux(" + exprText(m, e.args[0]) + ", " + exprText(m, e.args[1]) +
+             ", " + exprText(m, e.args[2]) + ")";
+    case Op::Concat:
+      return "{" + exprText(m, e.args[0]) + ", " + exprText(m, e.args[1]) + "}";
+    case Op::Slice:
+      return "(" + exprText(m, e.args[0]) + ")[" +
+             std::to_string(e.lo + e.width - 1) + ":" + std::to_string(e.lo) +
+             "]";
+    case Op::RedOr: return "(|" + exprText(m, e.args[0]) + ")";
+    case Op::RedAnd: return "(&" + exprText(m, e.args[0]) + ")";
+    case Op::Lut:
+      throw std::logic_error("emitModule: LUT nodes are not representable");
+  }
+  throw std::logic_error("emitModule: unknown op");
+}
+
+std::string labelTermText(const Module& m, const LabelTerm& t) {
+  switch (t.kind) {
+    case LabelTerm::Kind::Unconstrained:
+      return "";
+    case LabelTerm::Kind::Static:
+      return " label " + labelText(t.fixed);
+    case LabelTerm::Kind::Dependent: {
+      std::string s = " label DL(" + m.signal(t.selector).name + ") { ";
+      for (std::size_t i = 0; i < t.by_value.size(); ++i) {
+        if (i) s += ", ";
+        s += labelText(t.by_value[i]);
+      }
+      return s + " }";
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::vector<Module> parseLibrary(const std::string& source) {
+  std::vector<Module> library;
+  Parser p{source, &library};
+  while (!p.atEof()) {
+    library.push_back(p.run());
+  }
+  if (library.empty()) {
+    throw ParseError("no modules in source", 1, 1);
+  }
+  return library;
+}
+
+Module parseModule(const std::string& source) {
+  auto library = parseLibrary(source);
+  return std::move(library.back());
+}
+
+std::string emitModule(const Module& m) {
+  std::ostringstream os;
+  os << "module " << m.name() << " {\n";
+  for (const auto& s : m.signals()) {
+    const char* kind = nullptr;
+    switch (s.kind) {
+      case SignalKind::Input: kind = "input"; break;
+      case SignalKind::Output: kind = "output"; break;
+      case SignalKind::Wire: kind = "wire"; break;
+      case SignalKind::Reg: kind = "reg"; break;
+    }
+    os << "  " << kind << " " << s.name << " : " << s.width
+       << labelTermText(m, s.label);
+    if (s.kind == SignalKind::Reg && !s.reset.isZero()) {
+      if (s.width > 64)
+        throw std::logic_error("emitModule: reset wider than 64 bits");
+      os << " reset " << s.width << "'h" << std::hex << s.reset.toU64()
+         << std::dec;
+    }
+    os << ";\n";
+  }
+  for (const auto& a : m.assigns()) {
+    os << "  assign " << m.signal(a.lhs).name << " = " << exprText(m, a.rhs)
+       << ";\n";
+  }
+  for (const auto& rw : m.regWrites()) {
+    os << "  " << m.signal(rw.reg).name << " <= " << exprText(m, rw.next);
+    const auto& en = m.expr(rw.enable);
+    const bool always =
+        en.op == Op::Const && en.cval.width() == 1 && en.cval.toU64() == 1;
+    if (!always) os << " when " << exprText(m, rw.enable);
+    os << ";\n";
+  }
+  for (const auto& d : m.downgrades()) {
+    os << "  "
+       << (d.kind == lattice::DowngradeKind::Declassify ? "declassify"
+                                                        : "endorse")
+       << " " << m.signal(d.lhs).name << " = " << exprText(m, d.value)
+       << " to " << labelText(d.to) << " by ";
+    if (d.principal.name == "supervisor" &&
+        d.principal.authority == Label::topTop()) {
+      os << "supervisor";
+    } else {
+      os << d.principal.name << " " << labelText(d.principal.authority);
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace aesifc::hdl

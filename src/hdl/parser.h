@@ -1,0 +1,64 @@
+#pragma once
+// Textual frontend for the security-typed IR: a small SecVerilog-flavoured
+// language so designs and their labels can be written, versioned, and
+// checked as source files (see tools/aesifc-check). Grammar sketch:
+//
+//   module cache_tags {
+//     input  we    : 1  label (PUB, TRU);
+//     input  way   : 1  label (PUB, TRU);
+//     input  tag_i : 19 label DL(way) { (PUB, TRU), (PUB, UNT) };
+//     reg    t0    : 19 label (PUB, TRU) reset 19'h0;
+//     wire   hit   : 1;
+//     assign hit = we & (way == 1'b0);
+//     t0 <= tag_i when hit;
+//     output tag_o : 19 label (PUB, TRU);
+//     assign tag_o = t0;
+//     declassify ct = data to (PUB, TRU) by supervisor;
+//   }
+//
+// Expressions: & | ^ + - ~ == != < mux(c,a,b) slices x[hi:lo]
+// concatenation {a, b, ...}, reductions |x and &x, sized literals 8'hff /
+// 4'd12 / 1'b1. Confidentiality atoms: PUB, SEC, C{1,2}, CL<k>; integrity
+// atoms: TRU, UNT, I{0,3}, IL<k>. Principals: `supervisor` or
+// `name (CONF, INTEG)`.
+//
+// Errors are reported as ParseError with 1-based line/column.
+
+#include <stdexcept>
+#include <string>
+
+#include "hdl/ir.h"
+
+namespace aesifc::hdl {
+
+struct ParseError : std::runtime_error {
+  ParseError(std::string msg, unsigned line, unsigned col)
+      : std::runtime_error("line " + std::to_string(line) + ":" +
+                           std::to_string(col) + ": " + msg),
+        line{line},
+        col{col} {}
+  unsigned line;
+  unsigned col;
+};
+
+// Parse one module from source text. Throws ParseError on malformed input.
+// Sources may contain several modules; earlier ones can be instantiated by
+// later ones with
+//
+//   inst a1 = adder(x: lhs, y: rhs);
+//   assign s = a1__sum;            // instance ports live under inst__port
+//
+// (instances are flattened during parsing, see hdl/elaborate.h). When the
+// source holds several modules the LAST one — the top — is returned.
+Module parseModule(const std::string& source);
+
+// All modules of a source, in declaration order.
+std::vector<Module> parseLibrary(const std::string& source);
+
+// Emit a module back to the textual form (expressions are printed as trees,
+// so this is meant for the hand-sized verification models, not for
+// generated netlists with heavy node sharing). parse(emit(m)) yields a
+// module with identical structure and labels.
+std::string emitModule(const Module& m);
+
+}  // namespace aesifc::hdl

@@ -1,0 +1,28 @@
+#pragma once
+// Synthesizable Verilog-2001 export of IR modules — the bridge from this
+// repository to a real FPGA flow (the paper's prototype went through
+// Vivado; a user of this methodology would export the verified design and
+// synthesize it to obtain Table 2-style numbers on silicon).
+//
+// Labels and downgrades are emitted as structured comments (they have no
+// synthesis semantics); LUT nodes become case statements inside generated
+// functions; registers get a synchronous always block with their reset
+// value applied at `rst`.
+
+#include <string>
+
+#include "hdl/ir.h"
+
+namespace aesifc::hdl {
+
+struct VerilogOptions {
+  std::string clock = "clk";
+  std::string reset = "rst";  // synchronous, active-high
+  bool emit_label_comments = true;
+};
+
+// Emits one module. Throws std::logic_error only for malformed IR (it is
+// total over every Op, including Lut).
+std::string emitVerilog(const Module& m, const VerilogOptions& opts = {});
+
+}  // namespace aesifc::hdl

@@ -1,0 +1,482 @@
+#include "ifc/checker.h"
+
+#include <set>
+#include <sstream>
+
+#include "hdl/eval.h"
+#include "lattice/downgrade.h"
+
+namespace aesifc::ifc {
+
+using hdl::ExprId;
+using hdl::LabelTerm;
+using hdl::Module;
+using hdl::Op;
+using hdl::SignalId;
+using hdl::SignalKind;
+using lattice::Label;
+
+namespace {
+
+struct Ctx {
+  const Module& m;
+  const std::map<std::uint32_t, BitVec>& pinned;
+  std::string valuation;
+  std::map<std::uint32_t, Label> expr_cache;
+  std::map<std::uint32_t, Label> wire_cache;
+  std::set<std::uint32_t> visiting;
+};
+
+Label labelOfSignal(Ctx& ctx, SignalId s);
+
+Label resolveTerm(const Module& m, const LabelTerm& t,
+                  const std::map<std::uint32_t, BitVec>& pinned) {
+  switch (t.kind) {
+    case LabelTerm::Kind::Static:
+      return t.fixed;
+    case LabelTerm::Kind::Dependent: {
+      if (auto it = pinned.find(t.selector.v); it != pinned.end()) {
+        return t.by_value[it->second.toU64()];
+      }
+      // Selector not pinned (should not happen during checking since all
+      // selectors are enumerated): conservative join over the table.
+      Label l = t.by_value.front();
+      for (const auto& e : t.by_value) l = l.join(e);
+      (void)m;
+      return l;
+    }
+    case LabelTerm::Kind::Unconstrained:
+      break;
+  }
+  // Unconstrained state elements are reported separately; treat as least
+  // restrictive to avoid cascading noise.
+  return Label::publicTrusted();
+}
+
+Label inferExprLabel(Ctx& ctx, ExprId id) {
+  if (auto it = ctx.expr_cache.find(id.v); it != ctx.expr_cache.end())
+    return it->second;
+  const auto& e = ctx.m.expr(id);
+  Label l = Label::publicTrusted();
+  switch (e.op) {
+    case Op::Const:
+      break;
+    case Op::SignalRef:
+      l = labelOfSignal(ctx, e.sig);
+      break;
+    case Op::Mux: {
+      // Pruning: if the condition is decided by the pinned selectors, only
+      // the condition's own (pruned) label and the taken branch flow. This
+      // is the per-value reasoning that lets dependent-label designs
+      // (Fig. 3, Fig. 5) verify.
+      auto cond = hdl::partialEval(ctx.m, e.args[0], ctx.pinned);
+      if (cond.has_value()) {
+        const ExprId taken = cond->isZero() ? e.args[2] : e.args[1];
+        l = inferExprLabel(ctx, e.args[0]).join(inferExprLabel(ctx, taken));
+      } else {
+        l = inferExprLabel(ctx, e.args[0])
+                .join(inferExprLabel(ctx, e.args[1]))
+                .join(inferExprLabel(ctx, e.args[2]));
+      }
+      break;
+    }
+    case Op::And:
+    case Op::Or: {
+      // Short-circuit pruning: a decided absorbing operand (0 for And, all
+      // ones for Or) alone determines the result; the other side carries no
+      // information into it.
+      auto a = hdl::partialEval(ctx.m, e.args[0], ctx.pinned);
+      auto b = hdl::partialEval(ctx.m, e.args[1], ctx.pinned);
+      const auto absorbing = [&](const BitVec& v) {
+        return e.op == Op::And ? v.isZero()
+                               : v == BitVec::allOnes(e.width);
+      };
+      if (a.has_value() && absorbing(*a)) {
+        l = inferExprLabel(ctx, e.args[0]);
+      } else if (b.has_value() && absorbing(*b)) {
+        l = inferExprLabel(ctx, e.args[1]);
+      } else {
+        l = inferExprLabel(ctx, e.args[0]).join(inferExprLabel(ctx, e.args[1]));
+      }
+      break;
+    }
+    default:
+      for (auto a : e.args) l = l.join(inferExprLabel(ctx, a));
+      break;
+  }
+  ctx.expr_cache.emplace(id.v, l);
+  return l;
+}
+
+Label labelOfSignal(Ctx& ctx, SignalId s) {
+  const auto& sig = ctx.m.signal(s);
+  if (sig.kind == SignalKind::Input || sig.kind == SignalKind::Reg) {
+    return resolveTerm(ctx.m, sig.label, ctx.pinned);
+  }
+  // Wire/Output: label comes from the driver (or the downgrade target).
+  if (auto it = ctx.wire_cache.find(s.v); it != ctx.wire_cache.end())
+    return it->second;
+  if (ctx.visiting.count(s.v)) return Label::publicTrusted();  // cycle guard
+  ctx.visiting.insert(s.v);
+  Label l = Label::publicTrusted();
+  if (auto dg = ctx.m.downgradeDriverOf(s)) {
+    l = ctx.m.downgrades()[*dg].to;
+  } else if (auto d = ctx.m.driverOf(s)) {
+    l = inferExprLabel(ctx, *d);
+  }
+  ctx.visiting.erase(s.v);
+  ctx.wire_cache.emplace(s.v, l);
+  return l;
+}
+
+// Structural expression equivalence (same shape, constants, and signal
+// references). Used to match the enables of tag/data register pairs for the
+// label-update rule — after an emit/parse round trip the enables are equal
+// trees but distinct nodes.
+bool exprEquiv(const Module& m, ExprId a, ExprId b) {
+  if (a == b) return true;
+  const auto& ea = m.expr(a);
+  const auto& eb = m.expr(b);
+  if (ea.op != eb.op || ea.width != eb.width || ea.lo != eb.lo ||
+      ea.args.size() != eb.args.size())
+    return false;
+  if (ea.op == Op::Const && !(ea.cval == eb.cval)) return false;
+  if (ea.op == Op::SignalRef && !(ea.sig == eb.sig)) return false;
+  if (ea.op == Op::Lut && ea.table != eb.table) return false;
+  for (std::size_t i = 0; i < ea.args.size(); ++i) {
+    if (!exprEquiv(m, ea.args[i], eb.args[i])) return false;
+  }
+  return true;
+}
+
+std::string describeSource(const Module& m, ExprId e) {
+  auto leaves = hdl::leafDeps(m, e);
+  std::string s;
+  for (std::size_t i = 0; i < leaves.size() && i < 4; ++i) {
+    if (i) s += ",";
+    s += m.signal(leaves[i]).name;
+  }
+  if (leaves.size() > 4) s += ",...";
+  return s.empty() ? "<const>" : s;
+}
+
+struct ValuationEnum {
+  // Free selectors (inputs/registers) are enumerated exhaustively; derived
+  // selectors (wires whose value is a function of the free ones) are
+  // *computed* per valuation by partial evaluation, so impossible
+  // combinations — e.g. an instance-boundary wire that always equals the
+  // selector driving it — are never visited.
+  std::vector<SignalId> free;
+  std::vector<unsigned> widths;
+  std::vector<SignalId> derived;
+
+  std::size_t count() const {
+    std::size_t n = 1;
+    for (auto w : widths) n <<= w;
+    return n;
+  }
+
+  std::map<std::uint32_t, BitVec> valuation(const Module& m,
+                                            std::size_t idx) const {
+    std::map<std::uint32_t, BitVec> pinned;
+    for (std::size_t i = 0; i < free.size(); ++i) {
+      const std::uint64_t v = idx & ((1ull << widths[i]) - 1);
+      pinned.emplace(free[i].v, BitVec(widths[i], v));
+      idx >>= widths[i];
+    }
+    for (const auto w : derived) {
+      hdl::ExprId driver{};
+      if (auto d = m.driverOf(w)) {
+        driver = *d;
+      } else if (auto dg = m.downgradeDriverOf(w)) {
+        driver = m.downgrades()[*dg].value;
+      }
+      auto v = hdl::partialEval(m, driver, pinned);
+      // Classification guarantees decidability.
+      pinned.emplace(w.v, std::move(*v));
+    }
+    return pinned;
+  }
+
+  std::string describe(const Module& m,
+                       const std::map<std::uint32_t, BitVec>& pinned) const {
+    std::string s;
+    for (auto sel : free) {
+      if (!s.empty()) s += ",";
+      s += m.signal(sel).name + "=" + pinned.at(sel.v).toHex();
+    }
+    return s.empty() ? "" : "[" + s + "]";
+  }
+};
+
+// Collects the transitive selector set and splits it into enumerated and
+// derived parts. `extra` adds candidate selectors (for the suggestion
+// tool). Returns false when a selector is unusable (reported by caller).
+struct SelectorIssue {
+  SignalId signal{};
+  std::string why;
+};
+
+ValuationEnum buildValuationEnum(const Module& m,
+                                 const std::vector<SignalId>& extra,
+                                 std::vector<SelectorIssue>* issues) {
+  ValuationEnum venum;
+  std::set<std::uint32_t> seen;
+  std::vector<SignalId> worklist = extra;
+  for (const auto& s : m.signals()) {
+    if (s.label.kind == LabelTerm::Kind::Dependent)
+      worklist.push_back(s.label.selector);
+  }
+  std::vector<SignalId> all;
+  while (!worklist.empty()) {
+    const SignalId sel = worklist.back();
+    worklist.pop_back();
+    if (!seen.insert(sel.v).second) continue;
+    const auto& selsig = m.signal(sel);
+    if (selsig.label.kind == LabelTerm::Kind::Unconstrained &&
+        (selsig.kind == SignalKind::Input || selsig.kind == SignalKind::Reg)) {
+      if (issues != nullptr) {
+        issues->push_back({sel, "dependent-label selector must carry a label"});
+      }
+      continue;
+    }
+    if (selsig.label.kind == LabelTerm::Kind::Dependent &&
+        !seen.count(selsig.label.selector.v)) {
+      worklist.push_back(selsig.label.selector);
+    }
+    all.push_back(sel);
+  }
+
+  // A wire selector is derived when its value is a function of the
+  // enumerated state-element selectors; otherwise it is enumerated freely.
+  const auto isStateSelector = [&](SignalId s) {
+    const auto k = m.signal(s).kind;
+    return k == SignalKind::Input || k == SignalKind::Reg;
+  };
+  std::set<std::uint32_t> free_set;
+  for (const auto s : all) {
+    if (isStateSelector(s)) free_set.insert(s.v);
+  }
+  for (const auto s : all) {
+    if (isStateSelector(s)) {
+      venum.free.push_back(s);
+      venum.widths.push_back(m.signal(s).width);
+      continue;
+    }
+    hdl::ExprId driver{};
+    if (auto d = m.driverOf(s)) {
+      driver = *d;
+    } else if (auto dg = m.downgradeDriverOf(s)) {
+      driver = m.downgrades()[*dg].value;
+    }
+    bool decidable = driver.valid();
+    if (decidable) {
+      for (const auto dep : hdl::leafDeps(m, driver)) {
+        if (!free_set.count(dep.v)) {
+          decidable = false;
+          break;
+        }
+      }
+    }
+    if (decidable) {
+      venum.derived.push_back(s);
+    } else {
+      venum.free.push_back(s);
+      venum.widths.push_back(m.signal(s).width);
+    }
+  }
+  return venum;
+}
+
+}  // namespace
+
+lattice::Label resolveAnnotation(const Module& m, SignalId s,
+                                 const std::map<std::uint32_t, BitVec>& pinned) {
+  return resolveTerm(m, m.signal(s).label, pinned);
+}
+
+lattice::Label inferLabelUnder(const Module& m, ExprId e,
+                               const std::map<std::uint32_t, BitVec>& pinned) {
+  Ctx ctx{m, pinned, "", {}, {}, {}};
+  return inferExprLabel(ctx, e);
+}
+
+std::vector<std::map<std::uint32_t, BitVec>> selectorValuations(
+    const Module& m, std::size_t max_valuations,
+    const std::vector<hdl::SignalId>& extra) {
+  ValuationEnum venum = buildValuationEnum(m, extra, nullptr);
+  std::vector<std::map<std::uint32_t, BitVec>> out;
+  if (venum.count() > max_valuations) return out;
+  out.reserve(venum.count());
+  for (std::size_t vi = 0; vi < venum.count(); ++vi) {
+    out.push_back(venum.valuation(m, vi));
+  }
+  return out;
+}
+
+Report check(const Module& m, const CheckerOptions& opts) {
+  Report report;
+  m.validate();
+
+  auto addViolation = [&](Violation v) {
+    if (opts.dedup) {
+      for (const auto& existing : report.violations) {
+        if (existing.kind == v.kind && existing.sink == v.sink &&
+            existing.source == v.source && existing.message == v.message)
+          return;
+      }
+    }
+    report.violations.push_back(std::move(v));
+  };
+
+  // 1. Every state element must carry a label (security-typed HDL rule).
+  for (std::size_t i = 0; i < m.signals().size(); ++i) {
+    const auto& s = m.signals()[i];
+    if ((s.kind == SignalKind::Input || s.kind == SignalKind::Reg) &&
+        s.label.kind == LabelTerm::Kind::Unconstrained) {
+      addViolation({ViolationKind::MissingAnnotation, s.name, "",
+                    Label::publicTrusted(), Label::publicTrusted(), "",
+                    "state element has no security label"});
+    }
+  }
+
+  // 2. Collect dependent-label selectors (transitively: a selector may
+  //    itself carry a dependent label, e.g. a self-describing tag register)
+  //    and split them into enumerated vs derived.
+  std::vector<SelectorIssue> issues;
+  ValuationEnum venum = buildValuationEnum(m, {}, &issues);
+  for (const auto& issue : issues) {
+    addViolation({ViolationKind::IllFormedDependent,
+                  m.signal(issue.signal).name, "", Label::publicTrusted(),
+                  Label::publicTrusted(), "", issue.why});
+  }
+  if (venum.count() > opts.max_valuations) {
+    addViolation({ViolationKind::IllFormedDependent, m.name(), "",
+                  Label::publicTrusted(), Label::publicTrusted(), "",
+                  "dependent-label selector space too large to enumerate"});
+    return report;
+  }
+
+  // 3. Per-valuation flow checking.
+  for (std::size_t vi = 0; vi < venum.count(); ++vi) {
+    const auto pinned = venum.valuation(m, vi);
+    Ctx ctx{m, pinned, venum.describe(m, pinned), {}, {}, {}};
+
+    // 3a. Well-formedness: the selector's label must flow to every resolved
+    //     label of the signals it classifies (the level-determining value
+    //     must be visible wherever the data may go).
+    for (const auto& s : m.signals()) {
+      if (s.label.kind != LabelTerm::Kind::Dependent) continue;
+      // labelOfSignal resolves annotations and infers unannotated wires
+      // (e.g. derived instance-boundary selectors).
+      const Label sel_label = labelOfSignal(ctx, s.label.selector);
+      const Label resolved = resolveTerm(m, s.label, pinned);
+      if (!sel_label.flowsTo(resolved)) {
+        addViolation({ViolationKind::IllFormedDependent, s.name,
+                      m.signal(s.label.selector).name, sel_label, resolved,
+                      ctx.valuation,
+                      "selector label does not flow to the dependent level"});
+      }
+    }
+
+    // 3b. Continuous assignments.
+    for (const auto& a : m.assigns()) {
+      const auto& lhs = m.signal(a.lhs);
+      if (lhs.label.kind == LabelTerm::Kind::Unconstrained) continue;
+      const Label need = resolveTerm(m, lhs.label, pinned);
+      const Label got = inferExprLabel(ctx, a.rhs);
+      if (!got.flowsTo(need)) {
+        addViolation({ViolationKind::FlowViolation, lhs.name,
+                      describeSource(m, a.rhs), got, need, ctx.valuation,
+                      "inferred label does not flow to annotation"});
+      }
+    }
+
+    // 3c. Register updates; enables are flows into time.
+    for (const auto& rw : m.regWrites()) {
+      const auto& r = m.signal(rw.reg);
+      if (r.label.kind == LabelTerm::Kind::Unconstrained) continue;
+
+      // SecVerilog-style label update: when the sink's dependent-label
+      // selector is a register written under the *same* enable (tag and
+      // data move together through a pipeline stage), the write must be
+      // checked against the label at the selector's NEW value.
+      Label need = resolveTerm(m, r.label, pinned);
+      if (r.label.kind == LabelTerm::Kind::Dependent) {
+        for (const auto& sw : m.regWrites()) {
+          if (!(sw.reg == r.label.selector) ||
+              !exprEquiv(m, sw.enable, rw.enable))
+            continue;
+          if (auto nv = hdl::partialEval(m, sw.next, pinned)) {
+            need = r.label.by_value[nv->toU64()];
+          }
+          break;
+        }
+      }
+
+      auto en = hdl::partialEval(m, rw.enable, pinned);
+      if (en.has_value() && en->isZero()) continue;  // never writes here
+
+      const Label data = inferExprLabel(ctx, rw.next);
+      // The inference prunes absorbing And/Or operands and decided mux
+      // conditions, so a selector-decided enable contributes only the labels
+      // of the signals that decided it.
+      const Label when = inferExprLabel(ctx, rw.enable);
+      if (!data.join(when).flowsTo(need)) {
+        const bool timing_only = data.flowsTo(need);
+        addViolation({timing_only ? ViolationKind::TimingViolation
+                                  : ViolationKind::FlowViolation,
+                      r.name,
+                      timing_only ? describeSource(m, rw.enable)
+                                  : describeSource(m, rw.next),
+                      data.join(when), need, ctx.valuation,
+                      timing_only
+                          ? "register update timing depends on a more "
+                            "restrictive signal"
+                          : "inferred label does not flow to annotation"});
+      }
+    }
+
+    // 3d. Downgrades: nonmalleability (Eq. 1) plus the flow into the sink.
+    for (const auto& d : m.downgrades()) {
+      const Label from = inferExprLabel(ctx, d.value);
+      lattice::DowngradeDecision decision;
+      if (d.kind == lattice::DowngradeKind::Declassify) {
+        // Integrity must move by ordinary flow; only conf is downgraded.
+        if (!from.i.flowsTo(d.to.i)) {
+          decision = {false, "declassification cannot raise integrity from " +
+                                 from.i.toString() + " to " + d.to.i.toString()};
+        } else {
+          decision = lattice::checkDeclassify(Label{from.c, d.to.i}, d.to,
+                                              d.principal);
+        }
+      } else {
+        if (!from.c.flowsTo(d.to.c)) {
+          decision = {false, "endorsement cannot lower confidentiality from " +
+                                 from.c.toString() + " to " + d.to.c.toString()};
+        } else {
+          decision =
+              lattice::checkEndorse(Label{d.to.c, from.i}, d.to, d.principal);
+        }
+      }
+      const auto& lhs = m.signal(d.lhs);
+      if (!decision.allowed) {
+        addViolation({ViolationKind::DowngradeRejected, lhs.name,
+                      describeSource(m, d.value), from, d.to, ctx.valuation,
+                      (d.note.empty() ? "" : d.note + ": ") + decision.reason});
+      }
+      if (lhs.label.kind != LabelTerm::Kind::Unconstrained) {
+        const Label need = resolveTerm(m, lhs.label, pinned);
+        if (!d.to.flowsTo(need)) {
+          addViolation({ViolationKind::FlowViolation, lhs.name,
+                        describeSource(m, d.value), d.to, need, ctx.valuation,
+                        "downgraded label does not flow to the sink annotation"});
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace aesifc::ifc

@@ -1,0 +1,62 @@
+#pragma once
+// Static information-flow checker over the HDL IR — the design-time half of
+// the paper's methodology (Sections 2.3, 3.2). Given a module whose state
+// elements (inputs and registers) carry label annotations, the checker:
+//
+//  1. infers the label of every expression as the join of its operand
+//     labels (value flows) plus the labels of control operands (implicit
+//     flows through mux conditions);
+//  2. treats register enables as flows *into time*: the label of an enable
+//     joins into the register's label, so stall- or secret-dependent update
+//     timing is flagged exactly like the `valid` error of Fig. 6;
+//  3. handles ChiselFlow-style dependent labels DL(sel) by SecVerilog-style
+//     per-value case analysis: it enumerates every valuation of the
+//     dependent-label selectors and re-checks all flows with the selectors
+//     pinned, partially evaluating expressions so that branches decided by
+//     the pinned selectors are pruned (this is what makes the Fig. 3 cache
+//     tags and the Fig. 8 meet-gated stall verify);
+//  4. checks every explicit downgrade against the nonmalleable rules of
+//     Eq. 1 (the master-key scenario of Section 3.2.2 fails here when the
+//     acting principal lacks integrity).
+//
+// A passing report is the artifact the paper calls "statically verified to
+// be free of disallowed information flows, including timing channels".
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hdl/ir.h"
+#include "ifc/violation.h"
+
+namespace aesifc::ifc {
+
+struct CheckerOptions {
+  // Upper bound on the number of selector valuations to enumerate; designs
+  // needing more are rejected as ill-formed (selectors must stay narrow).
+  std::size_t max_valuations = 1u << 16;
+  // Deduplicate identical violations found under different valuations.
+  bool dedup = true;
+};
+
+Report check(const hdl::Module& m, const CheckerOptions& opts = {});
+
+// Resolve a signal's annotated label under a pinned selector valuation.
+// Exposed for the policy engine and tests.
+lattice::Label resolveAnnotation(const hdl::Module& m, hdl::SignalId s,
+                                 const std::map<std::uint32_t, BitVec>& pinned);
+
+// The label the checker infers for an expression under a pinned selector
+// valuation (with mux/And/Or pruning). Exposed for the label-suggestion
+// tool (src/ifc/suggest.h) and tests.
+lattice::Label inferLabelUnder(const hdl::Module& m, hdl::ExprId e,
+                               const std::map<std::uint32_t, BitVec>& pinned);
+
+// All valuations of the module's dependent-label selectors (the space the
+// checker enumerates) plus any `extra` candidate selectors. Returns an
+// empty vector when the space exceeds `max_valuations`.
+std::vector<std::map<std::uint32_t, BitVec>> selectorValuations(
+    const hdl::Module& m, std::size_t max_valuations = 1u << 16,
+    const std::vector<hdl::SignalId>& extra = {});
+
+}  // namespace aesifc::ifc

@@ -1,0 +1,51 @@
+#pragma once
+// Empirical constant-time checker: the dynamic complement of the static
+// timing analysis. Runs a design twice with identical public input
+// sequences but independently random secret inputs, and compares the
+// designated public outputs cycle by cycle. Any divergence is a measured
+// timing/value channel from the secrets to the public view — the dynamic
+// witness of the violations the static checker reports on Fig. 6-style
+// designs.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hdl/ir.h"
+
+namespace aesifc::ifc {
+
+struct CtCheckConfig {
+  unsigned cycles = 64;       // simulated cycles per trial
+  unsigned trials = 16;       // independent secret pairs
+  std::uint64_t seed = 1;
+  // Optional protocol-shaped driver for public inputs: (signal, cycle) ->
+  // value. When empty, publics are driven with a shared random stream.
+  // Protocol inputs (start pulses, handshakes) usually need this — a
+  // uniformly random `start` keeps restarting an FSM before its
+  // data-dependent latency can manifest.
+  std::function<aesifc::BitVec(hdl::SignalId, unsigned)> drive_public;
+  // Hold each secret at one random value for the whole trial (a key does
+  // not change mid-operation) instead of re-randomizing every cycle.
+  bool hold_secrets = false;
+};
+
+struct CtCheckResult {
+  bool constant = true;           // no divergence observed
+  std::uint64_t first_divergence_cycle = 0;
+  std::string diverging_signal;
+  unsigned diverging_trial = 0;
+
+  std::string toString() const;
+};
+
+// `secrets`/`publics` partition the module's inputs (every input must be in
+// exactly one list); `observed` are the outputs a public observer sees.
+CtCheckResult checkConstantTime(const hdl::Module& m,
+                                const std::vector<hdl::SignalId>& secrets,
+                                const std::vector<hdl::SignalId>& publics,
+                                const std::vector<hdl::SignalId>& observed,
+                                const CtCheckConfig& cfg = {});
+
+}  // namespace aesifc::ifc

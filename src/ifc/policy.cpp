@@ -1,0 +1,56 @@
+#include "ifc/policy.h"
+
+#include <sstream>
+
+namespace aesifc::ifc {
+
+const std::vector<FlowPolicy>& table1Policies() {
+  static const std::vector<FlowPolicy> kPolicies = {
+      {1, "Keys",
+       "A classified key cannot be read out by a less confidential user",
+       PolicyDimension::Confidentiality, "Key registers l(key)",
+       "User registers/outputs l(user)",
+       "key -/-> user if l(key) !<=C l(user)"},
+      {2, "Keys", "A protected key cannot be modified by a less trusted user",
+       PolicyDimension::Integrity, "User inputs l(user)",
+       "Key registers l(key)", "user -/-> key if l(user) !<=I l(key)"},
+      {3, "Keys", "A classified key cannot be used by a less trusted user",
+       PolicyDimension::Confidentiality, "Key registers l(key)",
+       "Ciphertext output (bottom)",
+       "ciphertext -/-> output if l(key) !<=C r(l(user))"},
+      {4, "Plaintext",
+       "A low confidential user cannot read plaintext from a higher "
+       "confidential user",
+       PolicyDimension::Confidentiality, "Plaintext buffer l(pt)",
+       "User registers/outputs l(user)",
+       "plaintext -/-> user if l(pt) !<=C l(user)"},
+      {5, "Plaintext", "A less trusted user cannot modify data beyond its authority",
+       PolicyDimension::Integrity, "User inputs l(user)",
+       "Data buffers/registers l(data)",
+       "user -/-> data if l(user) !<=I l(data)"},
+      {6, "Configs",
+       "Configuration registers readable by all users, writable only by the "
+       "supervisor",
+       PolicyDimension::Integrity, "User inputs l(user)",
+       "Configuration registers l(cr)",
+       "cr -> user as bottom <=C l(user); user -/-> cr as l(user) !<=I top; "
+       "sup -> cr as l(sup) <=I top"},
+  };
+  return kPolicies;
+}
+
+std::string renderTable1() {
+  std::ostringstream os;
+  os << "Table 1: security requirements and information flow policies\n";
+  for (const auto& p : table1Policies()) {
+    os << "  " << p.id << ". [" << p.asset << "] ("
+       << (p.dim == PolicyDimension::Confidentiality ? "C" : "I") << ") "
+       << p.requirement << "\n"
+       << "     source: " << p.source << "\n"
+       << "     sink:   " << p.sink << "\n"
+       << "     rule:   " << p.restriction << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace aesifc::ifc

@@ -1,0 +1,31 @@
+#pragma once
+// First-class encodings of Table 1: the six security requirements of a
+// crypto accelerator and their equivalent information-flow policies. The
+// policy engine in src/soc evaluates each row against the behavioral
+// accelerator (baseline vs. protected) and produces verdicts; the bench
+// `bench_table1_policies` renders the table the paper prints.
+
+#include <string>
+#include <vector>
+
+namespace aesifc::ifc {
+
+enum class PolicyDimension { Confidentiality, Integrity };
+
+struct FlowPolicy {
+  int id = 0;                  // row number in Table 1
+  std::string asset;           // Keys / Plaintext / Configs
+  std::string requirement;     // natural-language requirement
+  PolicyDimension dim = PolicyDimension::Confidentiality;
+  std::string source;          // source object and label
+  std::string sink;            // sink object and label
+  std::string restriction;     // the forbidden/allowed flow condition
+};
+
+// The six rows of Table 1.
+const std::vector<FlowPolicy>& table1Policies();
+
+// Render the table (fixed-width text) for benches and docs.
+std::string renderTable1();
+
+}  // namespace aesifc::ifc

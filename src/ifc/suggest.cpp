@@ -1,0 +1,122 @@
+#include "ifc/suggest.h"
+
+#include <map>
+#include <set>
+
+#include "ifc/checker.h"
+
+namespace aesifc::ifc {
+
+using hdl::LabelTerm;
+using hdl::Module;
+using hdl::SignalId;
+using lattice::Label;
+
+namespace {
+
+std::string render(const Module& m, const LabelTerm& t) {
+  switch (t.kind) {
+    case LabelTerm::Kind::Static:
+      return t.fixed.toString();
+    case LabelTerm::Kind::Dependent: {
+      std::string s = "DL(" + m.signal(t.selector).name + "): {";
+      for (std::size_t v = 0; v < t.by_value.size(); ++v) {
+        if (v) s += ", ";
+        s += std::to_string(v) + "->" + t.by_value[v].toString();
+      }
+      return s + "}";
+    }
+    case LabelTerm::Kind::Unconstrained:
+      break;
+  }
+  return "<unconstrained>";
+}
+
+}  // namespace
+
+std::vector<LabelSuggestion> suggestOutputLabels(
+    const Module& m, const std::vector<hdl::SignalId>& candidate_selectors) {
+  std::vector<LabelSuggestion> out;
+  const auto valuations =
+      selectorValuations(m, 1u << 16, candidate_selectors);
+  if (valuations.empty()) return out;  // selector space too large
+
+  for (std::size_t i = 0; i < m.signals().size(); ++i) {
+    const auto& sig = m.signals()[i];
+    if (sig.kind != hdl::SignalKind::Output) continue;
+    if (sig.label.kind != LabelTerm::Kind::Unconstrained) continue;
+    const SignalId id{static_cast<std::uint32_t>(i)};
+
+    const auto driver = m.driverOf(id);
+    const auto dg = m.downgradeDriverOf(id);
+    if (!driver.has_value() && !dg.has_value()) continue;
+
+    // The inferred flow per valuation.
+    std::vector<Label> flows;
+    flows.reserve(valuations.size());
+    for (const auto& pinned : valuations) {
+      if (dg.has_value()) {
+        flows.push_back(m.downgrades()[*dg].to);
+      } else {
+        flows.push_back(inferLabelUnder(m, *driver, pinned));
+      }
+    }
+
+    LabelSuggestion s;
+    s.signal = id;
+    s.signal_name = sig.name;
+
+    // Constant across valuations -> static label.
+    bool constant = true;
+    for (const auto& f : flows) {
+      if (!(f == flows[0])) constant = false;
+    }
+    if (constant) {
+      s.term = LabelTerm::of(flows[0]);
+    } else {
+      // The flow varies across valuations. For each selector build the
+      // per-value *join* table (always a sound annotation: the flow under
+      // any valuation is below the entry for that selector value) and pick
+      // the selector whose table improves most over the global join.
+      Label full_join = flows[0];
+      for (const auto& f : flows) full_join = full_join.join(f);
+
+      std::set<std::uint32_t> sels;
+      for (const auto& pinned : valuations) {
+        for (const auto& [k, v] : pinned) sels.insert(k);
+      }
+      LabelTerm best = LabelTerm::of(full_join);
+      std::size_t best_score = 0;
+      for (const auto sel_v : sels) {
+        const SignalId sel{sel_v};
+        const unsigned width = m.signal(sel).width;
+        std::vector<Label> table(1u << width, Label::publicTrusted());
+        for (std::size_t vi = 0; vi < valuations.size(); ++vi) {
+          const auto val = valuations[vi].at(sel_v).toU64();
+          table[val] = table[val].join(flows[vi]);
+        }
+        std::size_t score = 0;
+        for (const auto& entry : table) {
+          if (!(entry == full_join)) ++score;
+        }
+        if (score > best_score) {
+          best_score = score;
+          best = LabelTerm::dependent(sel, std::move(table));
+        }
+      }
+      s.term = std::move(best);
+    }
+    s.rendered = render(m, s.term);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void applySuggestions(Module& m,
+                      const std::vector<LabelSuggestion>& suggestions) {
+  for (const auto& s : suggestions) {
+    m.setLabel(s.signal, s.term);
+  }
+}
+
+}  // namespace aesifc::ifc

@@ -1,0 +1,39 @@
+#pragma once
+// Label suggestion — a prototype of the paper's future-work direction
+// ("automating the formulation procedure", Section 6). Given a module whose
+// state elements are labeled but whose outputs are not, infer the least
+// restrictive annotation each output admits:
+//   - a static label when the inferred flow is the same under every
+//     dependent-label valuation,
+//   - a ChiselFlow-style dependent label DL(sel) when the flow varies with
+//     exactly one selector (the Fig. 3 pattern, recovered automatically),
+//   - otherwise the join over all valuations.
+// A design annotated with the suggestions is checker-clean by construction.
+
+#include <string>
+#include <vector>
+
+#include "hdl/ir.h"
+
+namespace aesifc::ifc {
+
+struct LabelSuggestion {
+  hdl::SignalId signal{};
+  std::string signal_name;
+  hdl::LabelTerm term;   // the suggested annotation
+  std::string rendered;  // human-readable form, e.g. "DL(way): {...}"
+};
+
+// Suggestions for every *unconstrained* output of `m`. Outputs that already
+// carry annotations are left alone. `candidate_selectors` names additional
+// narrow signals the tool may classify outputs by (beyond the selectors
+// already used by dependent labels in the design).
+std::vector<LabelSuggestion> suggestOutputLabels(
+    const hdl::Module& m,
+    const std::vector<hdl::SignalId>& candidate_selectors = {});
+
+// Apply the suggestions to the module (sets the outputs' label terms).
+void applySuggestions(hdl::Module& m,
+                      const std::vector<LabelSuggestion>& suggestions);
+
+}  // namespace aesifc::ifc

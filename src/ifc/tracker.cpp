@@ -1,0 +1,222 @@
+#include "ifc/tracker.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace aesifc::ifc {
+
+using hdl::ExprId;
+using hdl::Op;
+using hdl::SignalId;
+using hdl::SignalKind;
+using lattice::Label;
+
+std::string RuntimeEvent::toString() const {
+  std::ostringstream os;
+  os << "cycle " << cycle << " "
+     << (kind == Kind::OutputLeak ? "[output-leak]" : "[downgrade-rejected]")
+     << " " << signal << " observed=" << observed.toString()
+     << " allowed=" << allowed.toString();
+  if (!message.empty()) os << " : " << message;
+  return os.str();
+}
+
+DynamicTracker::DynamicTracker(const hdl::Module& m, TrackPrecision prec)
+    : module_{m}, precision_{prec}, schedule_{hdl::scheduleCombinational(m)} {
+  m.validate();
+  values_.resize(m.signals().size());
+  labels_.resize(m.signals().size(), Label::publicTrusted());
+  reset();
+}
+
+void DynamicTracker::reset() {
+  for (std::size_t i = 0; i < module_.signals().size(); ++i) {
+    const auto& s = module_.signals()[i];
+    values_[i] = (s.kind == SignalKind::Reg) ? s.reset : aesifc::BitVec(s.width);
+    labels_[i] = Label::publicTrusted();
+  }
+  events_.clear();
+  cycle_ = 0;
+  evalComb();
+}
+
+hdl::SignalId DynamicTracker::mustFind(const std::string& name) const {
+  const SignalId s = module_.findSignal(name);
+  if (!s.valid())
+    throw std::logic_error("DynamicTracker: no signal '" + name + "'");
+  return s;
+}
+
+void DynamicTracker::poke(const std::string& name, aesifc::BitVec v, Label l) {
+  poke(mustFind(name), std::move(v), l);
+}
+
+void DynamicTracker::poke(SignalId s, aesifc::BitVec v, Label l) {
+  const auto& sig = module_.signal(s);
+  if (sig.kind != SignalKind::Input)
+    throw std::logic_error("poke: '" + sig.name + "' is not an input");
+  values_[s.v] = std::move(v);
+  labels_[s.v] = l;
+}
+
+const aesifc::BitVec& DynamicTracker::value(const std::string& name) const {
+  return values_[mustFind(name).v];
+}
+
+Label DynamicTracker::label(const std::string& name) const {
+  return labels_[mustFind(name).v];
+}
+
+DynamicTracker::Propagated DynamicTracker::evalWithLabel(ExprId id) {
+  const auto& e = module_.expr(id);
+  switch (e.op) {
+    case Op::Const:
+      return {e.cval, Label::publicTrusted()};
+    case Op::SignalRef:
+      return {values_[e.sig.v], labels_[e.sig.v]};
+    case Op::Mux: {
+      auto cond = evalWithLabel(e.args[0]);
+      if (precision_ == TrackPrecision::Precise) {
+        auto taken = evalWithLabel(cond.value.isZero() ? e.args[2] : e.args[1]);
+        return {taken.value, cond.label.join(taken.label)};
+      }
+      auto t = evalWithLabel(e.args[1]);
+      auto f = evalWithLabel(e.args[2]);
+      return {cond.value.isZero() ? f.value : t.value,
+              cond.label.join(t.label).join(f.label)};
+    }
+    case Op::And:
+    case Op::Or: {
+      // Precise (RTLIFT-style) tracking also exploits absorbing operands: a
+      // zero And-operand (or all-ones Or-operand) alone determines the
+      // result, so the other side's label is not carried. This matches the
+      // static checker's short-circuit pruning.
+      auto a = evalWithLabel(e.args[0]);
+      auto b = evalWithLabel(e.args[1]);
+      const aesifc::BitVec value =
+          e.op == Op::And ? (a.value & b.value) : (a.value | b.value);
+      if (precision_ == TrackPrecision::Precise) {
+        const auto absorbing = [&](const aesifc::BitVec& v) {
+          return e.op == Op::And ? v.isZero()
+                                 : v == aesifc::BitVec::allOnes(e.width);
+        };
+        if (absorbing(a.value)) return {value, a.label};
+        if (absorbing(b.value)) return {value, b.label};
+      }
+      return {value, a.label.join(b.label)};
+    }
+    default: {
+      std::vector<Propagated> args;
+      args.reserve(e.args.size());
+      Label l = Label::publicTrusted();
+      for (auto a : e.args) {
+        args.push_back(evalWithLabel(a));
+        l = l.join(args.back().label);
+      }
+      auto look = [&](SignalId s) -> const aesifc::BitVec& {
+        return values_[s.v];
+      };
+      // Value computed by the shared evaluator; labels already joined.
+      return {hdl::evalExpr(module_, id, look), l};
+    }
+  }
+}
+
+void DynamicTracker::evalComb() {
+  for (const auto& entry : schedule_.order) {
+    if (entry.is_downgrade) {
+      const auto& d = module_.downgrades()[entry.index];
+      auto p = evalWithLabel(d.value);
+      auto decision = lattice::checkDowngrade(
+          d.kind,
+          d.kind == lattice::DowngradeKind::Declassify
+              ? Label{p.label.c, d.to.i}
+              : Label{d.to.c, p.label.i},
+          d.to, d.principal);
+      // The component being *moved by ordinary flow* must flow on its own.
+      const bool residual_ok =
+          d.kind == lattice::DowngradeKind::Declassify
+              ? p.label.i.flowsTo(d.to.i)
+              : p.label.c.flowsTo(d.to.c);
+      values_[d.lhs.v] = std::move(p.value);
+      if (decision.allowed && residual_ok) {
+        labels_[d.lhs.v] = d.to;
+      } else {
+        labels_[d.lhs.v] = p.label;  // keep restrictive label
+        events_.push_back({RuntimeEvent::Kind::DowngradeRejected, cycle_,
+                           module_.signal(d.lhs).name, p.label, d.to,
+                           decision.allowed ? "component moved by plain flow"
+                                            : decision.reason});
+      }
+    } else {
+      const auto& a = module_.assigns()[entry.index];
+      auto p = evalWithLabel(a.rhs);
+      values_[a.lhs.v] = std::move(p.value);
+      labels_[a.lhs.v] = p.label;
+    }
+  }
+}
+
+void DynamicTracker::checkOutputs() {
+  for (std::size_t i = 0; i < module_.signals().size(); ++i) {
+    const auto& s = module_.signals()[i];
+    if (s.kind != SignalKind::Output) continue;
+    if (s.label.kind == hdl::LabelTerm::Kind::Unconstrained) continue;
+    Label allowed;
+    if (s.label.kind == hdl::LabelTerm::Kind::Static) {
+      allowed = s.label.fixed;
+    } else {
+      const auto sel = values_[s.label.selector.v].toU64();
+      allowed = s.label.by_value[sel];
+    }
+    if (!labels_[i].flowsTo(allowed)) {
+      events_.push_back({RuntimeEvent::Kind::OutputLeak, cycle_, s.name,
+                         labels_[i], allowed,
+                         "output label exceeds its annotation"});
+    }
+  }
+}
+
+void DynamicTracker::step(unsigned n) {
+  for (unsigned k = 0; k < n; ++k) {
+    evalComb();
+    checkOutputs();
+    // Stage all updates against pre-edge state; several regWrites may
+    // target the same register (later enabled writes win).
+    std::map<std::uint32_t, Propagated> staged;
+    for (const auto& rw : module_.regWrites()) {
+      auto en = evalWithLabel(rw.enable);
+      auto it = staged.find(rw.reg.v);
+      if (it == staged.end()) {
+        it = staged.emplace(rw.reg.v,
+                            Propagated{values_[rw.reg.v], labels_[rw.reg.v]})
+                 .first;
+      }
+      if (!en.value.isZero()) {
+        auto next = evalWithLabel(rw.next);
+        it->second.value = std::move(next.value);
+        it->second.label = next.label.join(en.label);
+      } else {
+        // A suppressed write still reveals the enable: join its label into
+        // the register (timing sensitivity).
+        it->second.label = it->second.label.join(en.label);
+      }
+    }
+    for (auto& [idx, p] : staged) {
+      values_[idx] = std::move(p.value);
+      labels_[idx] = p.label;
+    }
+    ++cycle_;
+    evalComb();
+  }
+}
+
+std::size_t DynamicTracker::eventCount(RuntimeEvent::Kind k) const {
+  std::size_t n = 0;
+  for (const auto& e : events_)
+    if (e.kind == k) ++n;
+  return n;
+}
+
+}  // namespace aesifc::ifc

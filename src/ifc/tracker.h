@@ -1,0 +1,80 @@
+#pragma once
+// Dynamic information-flow tracking over the HDL IR — the "tracking logic"
+// alternative to static typing the paper cites (GLIFT, RTLIFT). Every
+// signal carries a shadow label; labels propagate alongside values each
+// cycle. Two precision modes are provided:
+//   - Conservative (GLIFT-flavored): a mux joins the labels of both data
+//     branches and the condition.
+//   - Precise (RTLIFT-flavored): a mux joins the condition's label with the
+//     label of the branch actually selected at runtime.
+// Register enables join into register labels (updates' timing is observable),
+// and downgrade nodes apply the nonmalleable runtime check; rejected
+// downgrades keep the restrictive label and log an event — mirroring the
+// accelerator's runtime tag checkers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdl/eval.h"
+#include "hdl/ir.h"
+#include "lattice/downgrade.h"
+
+namespace aesifc::ifc {
+
+enum class TrackPrecision { Conservative, Precise };
+
+struct RuntimeEvent {
+  enum class Kind { OutputLeak, DowngradeRejected };
+  Kind kind = Kind::OutputLeak;
+  std::uint64_t cycle = 0;
+  std::string signal;
+  lattice::Label observed{};
+  lattice::Label allowed{};
+  std::string message;
+
+  std::string toString() const;
+};
+
+class DynamicTracker {
+ public:
+  explicit DynamicTracker(const hdl::Module& m,
+                          TrackPrecision prec = TrackPrecision::Precise);
+
+  void reset();
+
+  // Drive an input with a value carrying a label.
+  void poke(const std::string& name, aesifc::BitVec v, lattice::Label l);
+  void poke(hdl::SignalId s, aesifc::BitVec v, lattice::Label l);
+
+  const aesifc::BitVec& value(const std::string& name) const;
+  lattice::Label label(const std::string& name) const;
+  const aesifc::BitVec& value(hdl::SignalId s) const { return values_[s.v]; }
+  lattice::Label label(hdl::SignalId s) const { return labels_[s.v]; }
+
+  void evalComb();
+  void step(unsigned n = 1);
+
+  std::uint64_t cycle() const { return cycle_; }
+  const std::vector<RuntimeEvent>& events() const { return events_; }
+  std::size_t eventCount(RuntimeEvent::Kind k) const;
+
+ private:
+  struct Propagated {
+    aesifc::BitVec value;
+    lattice::Label label;
+  };
+  Propagated evalWithLabel(hdl::ExprId e);
+  void checkOutputs();
+  hdl::SignalId mustFind(const std::string& name) const;
+
+  const hdl::Module& module_;
+  TrackPrecision precision_;
+  hdl::CombSchedule schedule_;
+  std::vector<aesifc::BitVec> values_;
+  std::vector<lattice::Label> labels_;
+  std::vector<RuntimeEvent> events_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace aesifc::ifc

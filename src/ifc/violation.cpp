@@ -1,0 +1,53 @@
+#include "ifc/violation.h"
+
+#include <sstream>
+
+namespace aesifc::ifc {
+
+std::string toString(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::FlowViolation: return "flow-violation";
+    case ViolationKind::TimingViolation: return "timing-violation";
+    case ViolationKind::DowngradeRejected: return "downgrade-rejected";
+    case ViolationKind::MissingAnnotation: return "missing-annotation";
+    case ViolationKind::IllFormedDependent: return "ill-formed-dependent-label";
+  }
+  return "?";
+}
+
+std::string Violation::toString() const {
+  std::ostringstream os;
+  os << "[" << ifc::toString(kind) << "] sink=" << sink;
+  if (!source.empty()) os << " source=" << source;
+  os << " inferred=" << inferred.toString()
+     << " required=" << required.toString();
+  if (!valuation.empty()) os << " at " << valuation;
+  if (!message.empty()) os << " : " << message;
+  return os.str();
+}
+
+std::size_t Report::count(ViolationKind k) const {
+  std::size_t n = 0;
+  for (const auto& v : violations)
+    if (v.kind == k) ++n;
+  return n;
+}
+
+bool Report::mentionsSink(const std::string& name) const {
+  for (const auto& v : violations)
+    if (v.sink == name) return true;
+  return false;
+}
+
+std::string Report::toString() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << "IFC check passed: no disallowed information flows.\n";
+    return os.str();
+  }
+  os << "IFC check FAILED: " << violations.size() << " violation(s)\n";
+  for (const auto& v : violations) os << "  " << v.toString() << "\n";
+  return os.str();
+}
+
+}  // namespace aesifc::ifc

@@ -1,0 +1,42 @@
+#pragma once
+// Violation records produced by the static checker and the dynamic tracker.
+
+#include <string>
+#include <vector>
+
+#include "lattice/label.h"
+
+namespace aesifc::ifc {
+
+enum class ViolationKind {
+  FlowViolation,        // inferred label does not flow to the annotation
+  TimingViolation,      // flow into a register's update condition (enable)
+  DowngradeRejected,    // nonmalleable downgrading constraint failed
+  MissingAnnotation,    // state element (input/reg) without a label
+  IllFormedDependent,   // dependent-label selector not statically labeled, etc.
+};
+
+std::string toString(ViolationKind k);
+
+struct Violation {
+  ViolationKind kind = ViolationKind::FlowViolation;
+  std::string sink;          // signal receiving the disallowed flow
+  std::string source;        // description of the offending source/expression
+  lattice::Label inferred{}; // label deduced from the implementation
+  lattice::Label required{}; // label the designer specified
+  std::string valuation;     // example dependent-label valuation exhibiting it
+  std::string message;
+
+  std::string toString() const;
+};
+
+struct Report {
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::size_t count(ViolationKind k) const;
+  bool mentionsSink(const std::string& name) const;
+  std::string toString() const;
+};
+
+}  // namespace aesifc::ifc

@@ -1,0 +1,63 @@
+#pragma once
+// Two-tuple security label l = (confidentiality, integrity), exactly the
+// ChiselFlow label format the paper uses (Section 2.3), plus principals.
+
+#include <string>
+
+#include "lattice/sec_level.h"
+
+namespace aesifc::lattice {
+
+struct Label {
+  Conf c;
+  Integ i;
+
+  constexpr Label() : c{Conf::bottom()}, i{Integ::top()} {}
+  constexpr Label(Conf conf, Integ integ) : c{conf}, i{integ} {}
+
+  // (bottom, top): public & fully trusted — least restrictive point.
+  static constexpr Label publicTrusted() {
+    return Label{Conf::bottom(), Integ::top()};
+  }
+  // (bottom, bottom): public & untrusted.
+  static constexpr Label publicUntrusted() {
+    return Label{Conf::bottom(), Integ::bottom()};
+  }
+  // (top, top): the master-key label in the paper (Section 3.2.2).
+  static constexpr Label topTop() { return Label{Conf::top(), Integ::top()}; }
+  // (top, bottom): most restrictive point.
+  static constexpr Label mostRestrictive() {
+    return Label{Conf::top(), Integ::bottom()};
+  }
+
+  // Full information-flow order: both dimensions must permit the flow.
+  constexpr bool flowsTo(const Label& o) const {
+    return c.flowsTo(o.c) && i.flowsTo(o.i);
+  }
+  // Join/meet in the restrictiveness order.
+  constexpr Label join(const Label& o) const {
+    return Label{c.join(o.c), i.join(o.i)};
+  }
+  constexpr Label meet(const Label& o) const {
+    return Label{c.meet(o.c), i.meet(o.i)};
+  }
+  constexpr bool operator==(const Label&) const = default;
+
+  std::string toString() const;  // "(PUB,TRU)" etc.
+};
+
+// A principal (user / supervisor) is identified by a label describing what
+// it may read (confidentiality) and how trusted its statements are
+// (integrity). Downgrade checks consult the acting principal (Eq. 1).
+struct Principal {
+  std::string name;
+  Label authority;
+
+  // Convenience: a per-user principal with a private secrecy category `cat`
+  // and a matching trust category, the typical SoC user of Fig. 2.
+  static Principal user(std::string name, unsigned cat);
+  // The supervisor: fully trusted, may read everything.
+  static Principal supervisor();
+};
+
+}  // namespace aesifc::lattice

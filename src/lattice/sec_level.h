@@ -1,0 +1,111 @@
+#pragma once
+// One dimension of a security label: a point in a powerset lattice over up
+// to 16 categories, stored as a bitmask.
+//
+// The same representation serves both dimensions of the 2-tuple label, but
+// the *orientation* of the information-flow order differs:
+//   - Confidentiality: categories are secrecy compartments. More categories
+//     = more secret = MORE restrictive. bottom (public) = {} and top
+//     (fully secret) = all categories. l1 flows-to l2 iff l1 subset-of l2.
+//   - Integrity: categories are trust attestations. More categories = more
+//     trusted = LESS restrictive. top (fully trusted) = all categories,
+//     bottom (untrusted) = {}. l1 flows-to l2 iff l1 superset-of l2.
+//
+// Totally ordered "classification level" policies embed as chains:
+// level(k) = mask of the k low bits, so level(a) subset-of level(b) iff
+// a <= b.
+
+#include <cstdint>
+#include <string>
+
+namespace aesifc::lattice {
+
+inline constexpr unsigned kMaxCategories = 16;
+
+// Raw category set. Free functions below interpret it per dimension.
+class CatSet {
+ public:
+  constexpr CatSet() = default;
+  constexpr explicit CatSet(std::uint16_t mask) : mask_{mask} {}
+
+  static constexpr CatSet none() { return CatSet{0}; }
+  static constexpr CatSet all() { return CatSet{0xffff}; }
+  // Singleton category i (0..15).
+  static CatSet category(unsigned i);
+  // Chain embedding of a totally ordered level k (0..16): low-k-bits mask.
+  static CatSet level(unsigned k);
+
+  constexpr std::uint16_t mask() const { return mask_; }
+  constexpr bool subsetOf(CatSet o) const { return (mask_ & ~o.mask_) == 0; }
+  constexpr CatSet unionWith(CatSet o) const {
+    return CatSet{static_cast<std::uint16_t>(mask_ | o.mask_)};
+  }
+  constexpr CatSet intersectWith(CatSet o) const {
+    return CatSet{static_cast<std::uint16_t>(mask_ & o.mask_)};
+  }
+  constexpr bool operator==(const CatSet&) const = default;
+
+  std::string toString() const;  // e.g. "{0,3,7}" or "{}" or "{*}"
+
+ private:
+  std::uint16_t mask_ = 0;
+};
+
+// --- Confidentiality orientation ------------------------------------------
+
+struct Conf {
+  CatSet cats;
+
+  constexpr Conf() = default;
+  constexpr explicit Conf(CatSet c) : cats{c} {}
+
+  static constexpr Conf bottom() { return Conf{CatSet::none()}; }  // public
+  static constexpr Conf top() { return Conf{CatSet::all()}; }      // secret
+  static Conf category(unsigned i) { return Conf{CatSet::category(i)}; }
+  static Conf level(unsigned k) { return Conf{CatSet::level(k)}; }
+
+  // Information-flow order: `this` may flow to `o` (o at least as secret).
+  constexpr bool flowsTo(Conf o) const { return cats.subsetOf(o.cats); }
+  constexpr Conf join(Conf o) const { return Conf{cats.unionWith(o.cats)}; }
+  constexpr Conf meet(Conf o) const { return Conf{cats.intersectWith(o.cats)}; }
+  constexpr bool operator==(const Conf&) const = default;
+
+  std::string toString() const;
+};
+
+// --- Integrity orientation --------------------------------------------------
+
+struct Integ {
+  CatSet cats;
+
+  constexpr Integ() = default;
+  constexpr explicit Integ(CatSet c) : cats{c} {}
+
+  static constexpr Integ top() { return Integ{CatSet::all()}; }      // trusted
+  static constexpr Integ bottom() { return Integ{CatSet::none()}; }  // untrusted
+  static Integ category(unsigned i) { return Integ{CatSet::category(i)}; }
+  // Chain: level k trust; higher k = more trusted = less restrictive.
+  static Integ level(unsigned k) { return Integ{CatSet::level(k)}; }
+
+  // `this` may flow to `o`: a more trusted value may enter a less trusted
+  // slot, never the reverse. (this superset-of o)
+  constexpr bool flowsTo(Integ o) const { return o.cats.subsetOf(cats); }
+  // Join in the *restrictiveness* order: result trusted only where both are.
+  constexpr Integ join(Integ o) const { return Integ{cats.intersectWith(o.cats)}; }
+  constexpr Integ meet(Integ o) const { return Integ{cats.unionWith(o.cats)}; }
+  constexpr bool operator==(const Integ&) const = default;
+
+  std::string toString() const;
+};
+
+// --- Reflection r(.) between dimensions (Cecchetti et al. voice/view) -------
+//
+// r maps a point across dimensions keeping its category set:
+//   r(public) = untrusted, r(untrusted) = public (paper Section 2.4),
+//   and r(top-conf) = top-integ, which is what makes the master-key
+//   declassification require a fully trusted principal (Section 3.2.2).
+
+constexpr Integ reflectToInteg(Conf c) { return Integ{c.cats}; }
+constexpr Conf reflectToConf(Integ i) { return Conf{i.cats}; }
+
+}  // namespace aesifc::lattice

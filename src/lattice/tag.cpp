@@ -1,0 +1,49 @@
+#include "lattice/tag.h"
+
+namespace aesifc::lattice {
+
+TagCodec::TagCodec() {
+  for (unsigned k = 0; k < 16; ++k) {
+    confs_[k] = Conf{CatSet::level(k)};
+    integs_[k] = Integ{CatSet::level(k)};
+  }
+  confs_[15] = Conf::top();
+  integs_[15] = Integ::top();
+}
+
+TagCodec::TagCodec(std::array<Conf, 16> confs, std::array<Integ, 16> integs)
+    : confs_{confs}, integs_{integs} {}
+
+TagCodec TagCodec::userCategories() {
+  std::array<Conf, 16> confs;
+  std::array<Integ, 16> integs;
+  confs[0] = Conf::bottom();
+  integs[0] = Integ::top();
+  for (unsigned k = 1; k < 15; ++k) {
+    confs[k] = Conf::category(k);
+    integs[k] = Integ::category(k);
+  }
+  confs[15] = Conf::top();
+  integs[15] = Integ::bottom();
+  return TagCodec{confs, integs};
+}
+
+std::optional<HwTag> TagCodec::encode(const Label& l) const {
+  int ci = -1, ii = -1;
+  for (unsigned k = 0; k < 16; ++k) {
+    if (ci < 0 && confs_[k] == l.c) ci = static_cast<int>(k);
+    if (ii < 0 && integs_[k] == l.i) ii = static_cast<int>(k);
+  }
+  if (ci < 0 || ii < 0) return std::nullopt;
+  return static_cast<HwTag>((ii << 4) | ci);
+}
+
+Label TagCodec::decode(HwTag t) const {
+  return Label{confs_[confField(t)], integs_[integField(t)]};
+}
+
+std::string TagCodec::toString(HwTag t) const {
+  return decode(t).toString() + "#" + std::to_string(static_cast<int>(t));
+}
+
+}  // namespace aesifc::lattice

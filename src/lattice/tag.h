@@ -1,0 +1,55 @@
+#pragma once
+// Runtime security tags. The paper's prototype stores 8-bit tags with data
+// (4 bits confidentiality + 4 bits integrity, "compatible with a
+// state-of-the-art information flow enforced processor", i.e. HyperFlow).
+// A 4-bit field indexes a 16-entry palette of lattice points per dimension;
+// the palette is the runtime contract between software (which names levels
+// by index) and hardware (which joins/meets/compares actual lattice points).
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "lattice/label.h"
+
+namespace aesifc::lattice {
+
+// Hardware tag as stored in registers / tag arrays: {integ[7:4], conf[3:0]}.
+using HwTag = std::uint8_t;
+
+class TagCodec {
+ public:
+  // Default palette: index k encodes the chain point level(k) in both
+  // dimensions, except index 15 which is the full top (all categories).
+  TagCodec();
+
+  // Palette with explicit entries (at most 16 per dimension). Entry 0 must
+  // be the least restrictive point of its dimension.
+  TagCodec(std::array<Conf, 16> confs, std::array<Integ, 16> integs);
+
+  // The SoC palette used by the accelerator experiments: index 0 = public /
+  // fully trusted, indexes 1..14 = per-user categories (Fig. 2's one label
+  // per application), index 15 = top (the master key's level).
+  static TagCodec userCategories();
+
+  // Encode a label to a tag. Returns nullopt if either component is not in
+  // the palette (hardware can only carry palette points).
+  std::optional<HwTag> encode(const Label& l) const;
+
+  Label decode(HwTag t) const;
+
+  Conf conf(unsigned idx) const { return confs_.at(idx & 0xf); }
+  Integ integ(unsigned idx) const { return integs_.at(idx & 0xf); }
+
+  static unsigned confField(HwTag t) { return t & 0xf; }
+  static unsigned integField(HwTag t) { return (t >> 4) & 0xf; }
+
+  std::string toString(HwTag t) const;
+
+ private:
+  std::array<Conf, 16> confs_;
+  std::array<Integ, 16> integs_;
+};
+
+}  // namespace aesifc::lattice

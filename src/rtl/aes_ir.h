@@ -1,0 +1,75 @@
+#pragma once
+// A full, unrolled AES-128 encryption datapath expressed in the security-
+// typed IR: 10 rounds of 16 S-box LUTs, ShiftRows wiring, a MixColumns
+// GF(2^8) xor network, and AddRoundKey, with plaintext/key labels joined at
+// the ciphertext. Used to (a) integration-test the HDL+simulator against
+// the golden software AES, (b) run the static checker on a realistically
+// sized netlist, and (c) cross-check the area model's netlist estimator.
+
+#include "hdl/ir.h"
+
+namespace aesifc::rtl {
+
+struct AesIrPorts {
+  hdl::SignalId pt;                   // 128-bit plaintext input
+  std::vector<hdl::SignalId> rk;      // 11 x 128-bit round keys
+  hdl::SignalId ct;                   // 128-bit ciphertext output
+};
+
+// Combinational AES-128 encryption. Plaintext carries the user category,
+// round keys the key category; the ciphertext output is annotated with the
+// honest join of both.
+hdl::Module buildAesEncrypt128(AesIrPorts* ports = nullptr);
+
+// One AES round (SubBytes + ShiftRows + MixColumns + AddRoundKey) as an IR
+// expression; exposed for reuse and round-level tests. `last_round` skips
+// MixColumns.
+hdl::ExprId emitAesRound(hdl::Module& m, hdl::ExprId state128,
+                         hdl::ExprId roundkey128, bool last_round);
+
+// Combinational AES-128 *decryption* (equivalent straightforward inverse
+// cipher), same port/label structure as the encryptor.
+hdl::Module buildAesDecrypt128(AesIrPorts* ports = nullptr);
+
+// One inverse round; `last_round` skips InvMixColumns.
+hdl::ExprId emitAesInvRound(hdl::Module& m, hdl::ExprId state128,
+                            hdl::ExprId roundkey128, bool last_round);
+
+// --- Sequential key expansion -------------------------------------------------
+// AES-128 key schedule as a clocked FSM: `start` latches the key, then one
+// round key is produced per cycle (rk0 first). Exercises registers, S-box
+// LUTs and rcon recurrence in the IR; verified against aes::expandKey and
+// type-checked with the key's confidentiality label.
+struct KeyExpandPorts {
+  hdl::SignalId key;    // 128-bit input
+  hdl::SignalId start;  // 1-bit input
+  hdl::SignalId rk;     // 128-bit output: current round key
+  hdl::SignalId rk_valid;  // 1-bit output
+  hdl::SignalId round;     // 4-bit output: index of the round key on rk
+};
+hdl::Module buildKeyExpand128(KeyExpandPorts* ports = nullptr);
+
+// --- Sequential pipelined datapath ----------------------------------------------
+// A register-per-round AES-128 pipeline in IR form: 10 round stages (plus
+// the entry AddRoundKey), one block accepted per cycle, 10-cycle latency.
+// Each stage has a valid bit; round keys are inputs (one per round, shared
+// by all in-flight blocks — the single-key configuration). This is the
+// Fig. 7 structure expressed at RTL and simulated cycle-accurately.
+struct AesPipeIrPorts {
+  hdl::SignalId in_valid;  // 1-bit input
+  hdl::SignalId pt;        // 128-bit input
+  std::vector<hdl::SignalId> rk;  // 11 x 128-bit inputs
+  hdl::SignalId out_valid;        // 1-bit output
+  hdl::SignalId ct;               // 128-bit output
+};
+hdl::Module buildAesPipelineIr(AesPipeIrPorts* ports = nullptr);
+
+// --- Hardware Trojan scenario ([16], [9] in the paper) --------------------------
+// An AES datapath with a public `status` output. The trojaned variant wires
+// a key byte onto `status` when the plaintext matches a 128-bit trigger —
+// practically invisible to random testing, but a direct label violation the
+// static checker reports. The clean variant drives status from public data
+// only.
+hdl::Module buildAesWithStatus(bool trojaned, AesIrPorts* ports = nullptr);
+
+}  // namespace aesifc::rtl

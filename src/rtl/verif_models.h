@@ -1,0 +1,53 @@
+#pragma once
+// Security-typed IR models of the paper's verification targets. Each
+// builder returns a module the static checker (src/ifc) is run on in tests
+// and benches; the "insecure" variants must produce exactly the label
+// errors the paper describes, and the "secure" variants must verify clean.
+
+#include "hdl/ir.h"
+
+namespace aesifc::rtl {
+
+// Fig. 3: the ChiselFlow cache-tags module. tag_i/tag_o carry the dependent
+// label DL(way); way 0 backs a trusted array, way 1 an untrusted one.
+// `buggy` routes writes into the trusted array regardless of `way` — the
+// checker must reject it (untrusted data entering trusted storage).
+hdl::Module buildCacheTags(bool buggy);
+
+// Fig. 6 (left error): an AES control FSM whose completion time depends on
+// a key bit (the classic Kocher/Koeune-Quisquater timing leak). The `valid`
+// output is annotated public; in the leaky variant the checker infers a
+// secret label for it and reports the mismatch. The fixed variant runs a
+// data-independent number of cycles and verifies clean.
+hdl::Module buildAesControl(bool leaky);
+
+// Fig. 6 (right error) and Section 3.2.2: ciphertext release. The raw
+// ciphertext label is (ck join cu, iu); the public output port needs an
+// explicit declassification, and nonmalleable IFC decides who may perform
+// it.
+enum class ReleaseScenario {
+  NoDeclass,            // ciphertext assigned straight to a public port
+  UserKey,              // user declassifies output under its own key
+  MasterKeyUser,        // regular user tries to release master-key output
+  MasterKeySupervisor,  // supervisor releases master-key output
+};
+hdl::Module buildCiphertextRelease(ReleaseScenario s);
+
+// Fig. 8: a two-stage tagged pipeline with a stall request. In the
+// meet-gated variant the stall is honored only when the requester's level
+// flows to every in-flight tag (and the waiting input's tag); the checker
+// accepts it. The ungated baseline exhibits the covert timing channel as
+// TimingViolations on the stage registers.
+hdl::Module buildStallPipeline(bool meet_gated);
+
+// Parametric variant with `stages` pipeline stages (2..6). Checking cost
+// grows with the dependent-label valuation space (4^(stages+2)); used to
+// measure how the per-value analysis scales.
+hdl::Module buildStallPipelineN(unsigned stages, bool meet_gated);
+
+// Fig. 5: a tagged key scratchpad (4 cells here). The checked variant
+// compares the requester's tag with the per-cell tag before any
+// read/write; the unchecked variant is the buffer-overflow-prone design.
+hdl::Module buildTaggedScratchpad(bool checked);
+
+}  // namespace aesifc::rtl

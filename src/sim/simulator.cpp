@@ -1,0 +1,104 @@
+#include "sim/simulator.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace aesifc::sim {
+
+Simulator::Simulator(const Module& m)
+    : module_{m}, schedule_{hdl::scheduleCombinational(m)} {
+  m.validate();
+  values_.resize(m.signals().size());
+  reset();
+}
+
+void Simulator::reset() {
+  for (std::size_t i = 0; i < module_.signals().size(); ++i) {
+    const auto& s = module_.signals()[i];
+    values_[i] = (s.kind == hdl::SignalKind::Reg) ? s.reset
+                                                  : aesifc::BitVec(s.width);
+  }
+  cycle_ = 0;
+  evalComb();
+}
+
+void Simulator::poke(SignalId s, aesifc::BitVec v) {
+  const auto& sig = module_.signal(s);
+  if (sig.kind != hdl::SignalKind::Input)
+    throw std::logic_error("poke: '" + sig.name + "' is not an input");
+  if (v.width() != sig.width)
+    throw std::logic_error("poke: width mismatch on '" + sig.name + "'");
+  values_[s.v] = std::move(v);
+}
+
+void Simulator::poke(const std::string& name, aesifc::BitVec v) {
+  const SignalId s = module_.findSignal(name);
+  if (!s.valid()) throw std::logic_error("poke: no signal '" + name + "'");
+  poke(s, std::move(v));
+}
+
+const aesifc::BitVec& Simulator::peek(SignalId s) const { return values_[s.v]; }
+
+const aesifc::BitVec& Simulator::peek(const std::string& name) const {
+  const SignalId s = module_.findSignal(name);
+  if (!s.valid()) throw std::logic_error("peek: no signal '" + name + "'");
+  return peek(s);
+}
+
+void Simulator::evalComb() {
+  auto look = [&](SignalId s) -> const aesifc::BitVec& { return values_[s.v]; };
+  for (const auto& entry : schedule_.order) {
+    if (entry.is_downgrade) {
+      const auto& d = module_.downgrades()[entry.index];
+      values_[d.lhs.v] = hdl::evalExpr(module_, d.value, look);
+    } else {
+      const auto& a = module_.assigns()[entry.index];
+      values_[a.lhs.v] = hdl::evalExpr(module_, a.rhs, look);
+    }
+  }
+}
+
+void Simulator::step(unsigned n) {
+  auto look = [&](SignalId s) -> const aesifc::BitVec& { return values_[s.v]; };
+  for (unsigned k = 0; k < n; ++k) {
+    evalComb();
+    // Compute all next values against pre-edge state, then commit.
+    std::vector<std::pair<std::uint32_t, aesifc::BitVec>> updates;
+    updates.reserve(module_.regWrites().size());
+    for (const auto& rw : module_.regWrites()) {
+      if (!hdl::evalExpr(module_, rw.enable, look).isZero()) {
+        updates.emplace_back(rw.reg.v, hdl::evalExpr(module_, rw.next, look));
+      }
+    }
+    for (auto& [idx, v] : updates) values_[idx] = std::move(v);
+    ++cycle_;
+    evalComb();
+  }
+}
+
+Trace::Trace(const Simulator& sim, std::vector<SignalId> watch)
+    : sim_{sim}, watch_{std::move(watch)} {}
+
+void Trace::sample() {
+  std::vector<aesifc::BitVec> row;
+  row.reserve(watch_.size());
+  for (auto s : watch_) row.push_back(sim_.peek(s));
+  rows_.push_back(std::move(row));
+}
+
+std::string Trace::toCsv(const Module& m) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < watch_.size(); ++i) {
+    os << (i ? "," : "") << m.signal(watch_[i]).name;
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i ? "," : "") << row[i].toHex();
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace aesifc::sim

@@ -1,0 +1,68 @@
+#pragma once
+// Two-phase cycle-accurate simulator for HDL IR modules: each step settles
+// the combinational network in a precomputed topological order, then clocks
+// every register (double-buffered so register reads see pre-edge values).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hdl/eval.h"
+#include "hdl/ir.h"
+
+namespace aesifc::sim {
+
+using hdl::Module;
+using hdl::SignalId;
+
+class Simulator {
+ public:
+  explicit Simulator(const Module& m);
+
+  // Back to reset values; cycle counter to zero. Poked inputs are cleared.
+  void reset();
+
+  void poke(SignalId s, aesifc::BitVec v);
+  void poke(const std::string& name, aesifc::BitVec v);
+  const aesifc::BitVec& peek(SignalId s) const;
+  const aesifc::BitVec& peek(const std::string& name) const;
+
+  // Settle combinational logic without advancing the clock (e.g. to observe
+  // outputs mid-cycle after poking inputs).
+  void evalComb();
+
+  // One full clock cycle: settle, then update registers.
+  void step(unsigned n = 1);
+
+  std::uint64_t cycle() const { return cycle_; }
+  const Module& module() const { return module_; }
+
+ private:
+  const Module& module_;
+  hdl::CombSchedule schedule_;
+  std::vector<aesifc::BitVec> values_;
+  std::uint64_t cycle_ = 0;
+};
+
+// Records selected signals every cycle; used by experiments that analyze
+// latency traces and by debugging dumps.
+class Trace {
+ public:
+  Trace(const Simulator& sim, std::vector<SignalId> watch);
+
+  void sample();  // capture current values
+
+  std::size_t length() const { return rows_.size(); }
+  const aesifc::BitVec& at(std::size_t row, std::size_t col) const {
+    return rows_[row][col];
+  }
+  std::string toCsv(const Module& m) const;
+
+ private:
+  const Simulator& sim_;
+  std::vector<SignalId> watch_;
+  std::vector<std::vector<aesifc::BitVec>> rows_;
+};
+
+}  // namespace aesifc::sim

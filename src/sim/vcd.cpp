@@ -1,0 +1,74 @@
+#include "sim/vcd.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace aesifc::sim {
+
+VcdWriter::VcdWriter(const Simulator& sim, std::vector<SignalId> signals)
+    : sim_{sim}, signals_{std::move(signals)} {
+  if (signals_.empty()) {
+    for (std::size_t i = 0; i < sim.module().signals().size(); ++i) {
+      signals_.push_back(SignalId{static_cast<std::uint32_t>(i)});
+    }
+  }
+  last_.resize(signals_.size());
+  seen_.resize(signals_.size(), false);
+}
+
+std::string VcdWriter::idCode(std::size_t n) {
+  // Printable identifier codes: base-94 over '!'..'~'.
+  std::string s;
+  do {
+    s += static_cast<char>('!' + n % 94);
+    n /= 94;
+  } while (n != 0);
+  return s;
+}
+
+void VcdWriter::sample() {
+  std::ostringstream os;
+  os << "#" << sim_.cycle() << "\n";
+  bool any = false;
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    const auto& v = sim_.peek(signals_[i]);
+    if (seen_[i] && v == last_[i]) continue;
+    seen_[i] = true;
+    last_[i] = v;
+    any = true;
+    const auto& sig = sim_.module().signal(signals_[i]);
+    if (sig.width == 1) {
+      os << (v.isZero() ? "0" : "1") << idCode(i) << "\n";
+    } else {
+      os << "b";
+      for (unsigned b = sig.width; b-- > 0;) os << (v.bit(b) ? '1' : '0');
+      os << " " << idCode(i) << "\n";
+    }
+  }
+  if (any) body_ += os.str();
+}
+
+std::string VcdWriter::str() const {
+  std::ostringstream os;
+  os << "$date reproduction run $end\n";
+  os << "$version aesifc simulator $end\n";
+  os << "$timescale 1ns $end\n";
+  os << "$scope module " << sim_.module().name() << " $end\n";
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    const auto& sig = sim_.module().signal(signals_[i]);
+    os << "$var wire " << sig.width << " " << idCode(i) << " " << sig.name
+       << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+  os << body_;
+  return os.str();
+}
+
+bool VcdWriter::writeTo(const std::string& path) const {
+  std::ofstream f{path};
+  if (!f) return false;
+  f << str();
+  return static_cast<bool>(f);
+}
+
+}  // namespace aesifc::sim

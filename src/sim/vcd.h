@@ -1,0 +1,38 @@
+#pragma once
+// VCD (Value Change Dump, IEEE 1364) waveform writer for the simulator —
+// the artifact a hardware engineer would load into GTKWave to inspect the
+// pipeline, and what our debugging examples dump.
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace aesifc::sim {
+
+class VcdWriter {
+ public:
+  // Watches `signals` of the simulator's module (all signals if empty).
+  VcdWriter(const Simulator& sim, std::vector<SignalId> signals = {});
+
+  // Capture the current values at the simulator's current cycle. Call once
+  // per cycle (or whenever the design settles); emits only changes.
+  void sample();
+
+  // Complete VCD document (header + change dump so far).
+  std::string str() const;
+
+  // Convenience: write to a file; returns false on I/O failure.
+  bool writeTo(const std::string& path) const;
+
+ private:
+  static std::string idCode(std::size_t n);
+
+  const Simulator& sim_;
+  std::vector<SignalId> signals_;
+  std::vector<aesifc::BitVec> last_;
+  std::vector<bool> seen_;
+  std::string body_;
+};
+
+}  // namespace aesifc::sim

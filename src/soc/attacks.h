@@ -1,0 +1,112 @@
+#pragma once
+// Attack drivers reproducing the vulnerability scenarios of Sections 2.1
+// and 3.1-3.2 against the behavioral accelerator, in both Baseline and
+// Protected modes. Each driver returns a structured result the tests and
+// benches assert on: the baseline must exhibit the attack, the protected
+// design must block it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/types.h"
+#include "soc/metrics.h"
+
+namespace aesifc::soc {
+
+// --- Section 3.2.5 / Fig. 8: stall covert timing channel ---------------------
+// Alice modulates her receiver readiness with a secret bit string; Eve
+// streams blocks and decodes the secret from her own completion counts.
+struct TimingChannelParams {
+  unsigned secret_bits = 48;
+  unsigned window = 64;  // cycles per secret bit
+  std::uint64_t seed = 1;
+};
+
+struct TimingChannelResult {
+  double mi_bits = 0.0;   // mutual information secret->decoded, per bit
+  double accuracy = 0.0;  // fraction of secret bits Eve recovers
+  LatencyStats eve_latency;
+  std::uint64_t stalled_cycles = 0;
+  std::uint64_t denied_stalls = 0;
+};
+
+TimingChannelResult runTimingChannelAttack(accel::SecurityMode mode,
+                                           const TimingChannelParams& p = {});
+
+// --- Ablation: acceptance-delay channel ------------------------------------------
+// Eve sends one sparse probe per window while only Alice's traffic is in
+// flight; if Alice's granted stall may delay Eve's *acceptance* (stage-only
+// meet, the paper's literal Fig. 8 rule), Eve's probe latency decodes
+// Alice's secret. Our strengthened rule (meet over stages AND waiting
+// inputs) closes it.
+struct AcceptanceDelayResult {
+  double mi_bits = 0.0;
+  double accuracy = 0.0;
+  LatencyStats probe_latency;
+  std::uint64_t stalled_cycles = 0;
+  std::uint64_t denied_stalls = 0;
+};
+
+AcceptanceDelayResult runAcceptanceDelayAttack(bool meet_includes_inputs,
+                                               const TimingChannelParams& p = {});
+
+// --- Section 3.2.3 / Fig. 5: scratchpad buffer overflow ----------------------
+// Eve is allocated two cells but writes three, clobbering Alice's key cell.
+struct OverflowResult {
+  bool overflow_write_succeeded = false;  // the out-of-authority write landed
+  bool alice_key_corrupted = false;       // Alice's re-expanded key is wrong
+  std::size_t blocked_events = 0;
+};
+
+OverflowResult runScratchpadOverflow(accel::SecurityMode mode);
+
+// --- Section 2.1 [10]: debug peripheral key theft -----------------------------
+// Eve (a) tries to enable the debug port herself and (b) reads Alice's
+// in-flight round-0 state while knowing the plaintext, recovering the key.
+struct DebugPortResult {
+  bool eve_enabled_debug = false;   // config tamper landed
+  bool key_recovered = false;       // recovered key equals Alice's key
+  bool supervisor_read_ok = false;  // legitimate high-conf read still works
+  std::size_t blocked_events = 0;
+};
+
+DebugPortResult runDebugPortAttack(accel::SecurityMode mode);
+
+// --- Section 3.2.2: inappropriate key use -------------------------------------
+// Eve encrypts with the master key (slot 0) and decrypts with Alice's key.
+struct KeyMisuseResult {
+  bool master_key_output_released = false;  // Eve got ciphertext under master key
+  bool alice_key_output_released = false;   // Eve decrypted with Alice's key
+  bool supervisor_master_ok = false;        // supervisor may use the master key
+  bool own_key_ok = false;                  // normal operation is unaffected
+  std::size_t declass_rejected = 0;
+};
+
+KeyMisuseResult runKeyMisuseAttack(accel::SecurityMode mode);
+
+// --- Fig. 2's DMA block: cross-user buffer theft -------------------------------
+// Eve programs the DMA engine to encrypt *Alice's* plaintext buffer under
+// Eve's own key into Eve's buffer, then decrypts it offline — plaintext
+// theft through a peripheral (Table 1 row 4) rather than the datapath.
+struct DmaTheftResult {
+  bool alice_plaintext_stolen = false;  // Eve recovered Alice's buffer
+  bool src_read_blocked = false;        // protected engine refused the read
+  bool dst_write_blocked = false;       // ...and writes into Alice's pages
+  bool legit_dma_ok = false;            // Alice's own DMA still works
+  double cycles_per_block = 0.0;        // throughput of the legitimate DMA
+};
+
+DmaTheftResult runDmaTheftAttack(accel::SecurityMode mode);
+
+// --- Section 3.2.4: configuration tampering -----------------------------------
+struct ConfigTamperResult {
+  bool eve_write_landed = false;
+  bool supervisor_write_landed = false;
+  bool eve_read_ok = false;  // reads stay allowed for everyone
+  std::size_t blocked_events = 0;
+};
+
+ConfigTamperResult runConfigTamper(accel::SecurityMode mode);
+
+}  // namespace aesifc::soc

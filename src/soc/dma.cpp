@@ -1,0 +1,144 @@
+#include "soc/dma.h"
+
+#include <cstring>
+
+namespace aesifc::soc {
+
+HostMemory::HostMemory(std::size_t bytes)
+    : mem_(bytes, 0),
+      page_labels_((bytes + kPageBytes - 1) / kPageBytes,
+                   lattice::Label::publicTrusted()) {}
+
+void HostMemory::setPageLabel(std::size_t addr, std::size_t len,
+                              const lattice::Label& l) {
+  for (std::size_t p = addr / kPageBytes; p <= (addr + len - 1) / kPageBytes;
+       ++p) {
+    page_labels_.at(p) = l;
+  }
+}
+
+const lattice::Label& HostMemory::pageLabel(std::size_t addr) const {
+  return page_labels_.at(addr / kPageBytes);
+}
+
+void HostMemory::writeBytes(std::size_t addr,
+                            const std::vector<std::uint8_t>& data) {
+  for (std::size_t i = 0; i < data.size(); ++i) mem_.at(addr + i) = data[i];
+}
+
+std::vector<std::uint8_t> HostMemory::readBytes(std::size_t addr,
+                                                std::size_t len) const {
+  std::vector<std::uint8_t> out(len);
+  for (std::size_t i = 0; i < len; ++i) out[i] = mem_.at(addr + i);
+  return out;
+}
+
+bool DmaEngine::checkPages(const DmaDescriptor& d, DmaResult& r) const {
+  if (acc_.mode() != accel::SecurityMode::Protected) return true;
+  const lattice::Label& u = acc_.principal(d.user).authority;
+  for (std::size_t a = d.src; a < d.src + d.len; a += kPageBytes) {
+    // Reading on the user's behalf: the page's secrets must be readable
+    // by the user.
+    if (!mem_.pageLabel(a).c.flowsTo(u.c)) {
+      r.error = "src-page-denied";
+      return false;
+    }
+  }
+  for (std::size_t a = d.dst; a < d.dst + d.len; a += kPageBytes) {
+    // Writing on the user's behalf: the user's authority must flow to the
+    // page (no overwriting pages the user may not modify).
+    if (!u.flowsTo(mem_.pageLabel(a))) {
+      r.error = "dst-page-denied";
+      return false;
+    }
+  }
+  return true;
+}
+
+DmaResult DmaEngine::run(const DmaDescriptor& d) {
+  DmaResult r;
+  if (d.len == 0 || d.src + d.len > mem_.size() ||
+      d.dst + d.len > mem_.size()) {
+    r.error = "bad-range";
+    return r;
+  }
+  if (d.mode != DmaMode::CtrCrypt && d.len % 16 != 0) {
+    r.error = "unaligned-length";
+    return r;
+  }
+  if (!checkPages(d, r)) return r;
+
+  const std::uint64_t start_cycle = acc_.cycle();
+  const std::size_t nblocks = (d.len + 15) / 16;
+  const bool decrypt = d.mode == DmaMode::EcbDecrypt;
+
+  // Build the block stream: data blocks for ECB, counter blocks for CTR.
+  std::vector<aes::Block> stream(nblocks);
+  aes::Block ctr = d.ctr_iv;
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    if (d.mode == DmaMode::CtrCrypt) {
+      stream[i] = ctr;
+      for (int b = 15; b >= 8; --b) {
+        if (++ctr[static_cast<unsigned>(b)] != 0) break;
+      }
+    } else {
+      const std::size_t n = std::min<std::size_t>(16, d.len - 16 * i);
+      for (std::size_t b = 0; b < n; ++b)
+        stream[i][b] = mem_.read8(d.src + 16 * i + b);
+    }
+  }
+
+  // Stream through the pipeline: submit up to one block per cycle, collect
+  // completions as they appear.
+  std::size_t submitted = 0, done = 0;
+  std::vector<aes::Block> out(nblocks);
+  const std::uint64_t base_id = next_req_;
+  bool suppressed = false;
+  while (done < nblocks) {
+    if (submitted < nblocks) {
+      accel::BlockRequest req;
+      req.req_id = next_req_;
+      req.user = d.user;
+      req.key_slot = d.key_slot;
+      req.decrypt = decrypt && d.mode != DmaMode::CtrCrypt;
+      req.data = stream[submitted];
+      if (acc_.submit(req)) {
+        ++next_req_;
+        ++submitted;
+      }
+    }
+    acc_.tick();
+    while (auto resp = acc_.fetchOutput(d.user)) {
+      if (resp->req_id < base_id) continue;
+      if (resp->suppressed) suppressed = true;
+      out[resp->req_id - base_id] = resp->data;
+      ++done;
+    }
+    if (acc_.cycle() - start_cycle > 4096 + 2 * nblocks) {
+      r.error = "timeout";
+      r.cycles = acc_.cycle() - start_cycle;
+      return r;
+    }
+  }
+  if (suppressed) {
+    r.error = "output-suppressed";
+    r.cycles = acc_.cycle() - start_cycle;
+    return r;
+  }
+
+  // Write back.
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    const std::size_t n = std::min<std::size_t>(16, d.len - 16 * i);
+    for (std::size_t b = 0; b < n; ++b) {
+      std::uint8_t v = out[i][b];
+      if (d.mode == DmaMode::CtrCrypt) v ^= mem_.read8(d.src + 16 * i + b);
+      mem_.write8(d.dst + 16 * i + b, v);
+    }
+  }
+  r.ok = true;
+  r.blocks = nblocks;
+  r.cycles = acc_.cycle() - start_cycle;
+  return r;
+}
+
+}  // namespace aesifc::soc

@@ -1,0 +1,87 @@
+#pragma once
+// DMA path of the SoC (the tagged "DMA" block of Fig. 2): instead of
+// per-block MMIO stores, software programs a descriptor (source buffer,
+// destination buffer, key slot, mode) and the engine streams blocks through
+// the accelerator at pipeline rate.
+//
+// Host memory carries per-page security tags. In Protected mode the engine
+// checks, for the requesting user u:
+//   - source pages:     label(page) may flow (conf) to u — the engine reads
+//                       on u's behalf;
+//   - destination pages: u's label may flow to label(page) — the engine
+//                       writes on u's behalf.
+// The Baseline engine performs no checks, which yields the classic
+// cross-user DMA theft: Eve encrypts *Alice's* buffer under Eve's own key
+// and decrypts the result at leisure (a Table 1 row-4 violation through a
+// peripheral instead of the datapath).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.h"
+
+namespace aesifc::soc {
+
+inline constexpr unsigned kPageBytes = 256;
+
+// Flat host memory with one security label per page.
+class HostMemory {
+ public:
+  explicit HostMemory(std::size_t bytes);
+
+  std::size_t size() const { return mem_.size(); }
+
+  // Page ownership (set by the "OS" at allocation time).
+  void setPageLabel(std::size_t addr, std::size_t len, const lattice::Label& l);
+  const lattice::Label& pageLabel(std::size_t addr) const;
+
+  // Raw accessors (the backdoor used by testbenches and the unprotected
+  // engine; checked accesses live in the DMA engine).
+  std::uint8_t read8(std::size_t addr) const { return mem_.at(addr); }
+  void write8(std::size_t addr, std::uint8_t v) { mem_.at(addr) = v; }
+  void writeBytes(std::size_t addr, const std::vector<std::uint8_t>& data);
+  std::vector<std::uint8_t> readBytes(std::size_t addr, std::size_t len) const;
+
+ private:
+  std::vector<std::uint8_t> mem_;
+  std::vector<lattice::Label> page_labels_;
+};
+
+enum class DmaMode { EcbEncrypt, EcbDecrypt, CtrCrypt };
+
+struct DmaDescriptor {
+  unsigned user = 0;
+  unsigned key_slot = 0;
+  DmaMode mode = DmaMode::EcbEncrypt;
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  std::size_t len = 0;          // bytes; multiple of 16 for ECB
+  aes::Block ctr_iv{};          // initial counter block for CTR
+};
+
+struct DmaResult {
+  bool ok = false;
+  std::string error;            // "src-page-denied", "dst-page-denied", ...
+  std::uint64_t cycles = 0;     // device cycles consumed
+  std::uint64_t blocks = 0;
+};
+
+class DmaEngine {
+ public:
+  DmaEngine(accel::AesAccelerator& acc, HostMemory& mem)
+      : acc_{acc}, mem_{mem} {}
+
+  // Executes one descriptor to completion (ticks the accelerator).
+  DmaResult run(const DmaDescriptor& d);
+
+ private:
+  bool checkPages(const DmaDescriptor& d, DmaResult& r) const;
+
+  accel::AesAccelerator& acc_;
+  HostMemory& mem_;
+  std::uint64_t next_req_ = (1ull << 40);
+};
+
+}  // namespace aesifc::soc

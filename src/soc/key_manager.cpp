@@ -1,0 +1,108 @@
+#include "soc/key_manager.h"
+
+namespace aesifc::soc {
+
+using accel::kRoundKeySlots;
+using accel::kScratchpadCells;
+
+KeyManager::KeyManager(accel::AesAccelerator& acc, std::uint64_t seed)
+    : acc_{acc}, rng_{seed} {
+  // Slot 0 is reserved for the master key by convention.
+  slot_in_use_ = 0x01;
+}
+
+std::vector<std::uint8_t> KeyManager::freshKey() {
+  std::vector<std::uint8_t> k(16);
+  for (auto& b : k) b = static_cast<std::uint8_t>(rng_.next());
+  return k;
+}
+
+bool KeyManager::install(Session& s) {
+  acc_.configureKeyCells(s.user, s.cell_base, 2);
+  for (unsigned c = 0; c < 2; ++c) {
+    std::uint64_t w = 0;
+    for (unsigned b = 0; b < 8; ++b)
+      w |= static_cast<std::uint64_t>(s.key[8 * c + b]) << (8 * b);
+    if (!acc_.writeKeyCell(s.user, s.cell_base + c, w)) return false;
+  }
+  return acc_.loadKey(s.user, s.slot, s.cell_base, aes::KeySize::Aes128,
+                      acc_.principal(s.user).authority.c);
+}
+
+std::optional<KeyManager::Session> KeyManager::openSession(unsigned user) {
+  if (sessions_.count(user)) return std::nullopt;  // one session per user
+
+  int slot = -1;
+  for (unsigned i = 0; i < kRoundKeySlots; ++i) {
+    if (!(slot_in_use_ & (1u << i))) {
+      slot = static_cast<int>(i);
+      break;
+    }
+  }
+  int base = -1;
+  for (unsigned i = 0; i + 1 < kScratchpadCells; i += 2) {
+    if (!(cells_in_use_ & (3u << i))) {
+      base = static_cast<int>(i);
+      break;
+    }
+  }
+  if (slot < 0 || base < 0) return std::nullopt;
+
+  Session s;
+  s.user = user;
+  s.slot = static_cast<unsigned>(slot);
+  s.cell_base = static_cast<unsigned>(base);
+  s.key = freshKey();
+  s.generation = 1;
+  if (!install(s)) return std::nullopt;
+
+  slot_in_use_ |= static_cast<std::uint8_t>(1u << s.slot);
+  cells_in_use_ |= static_cast<std::uint8_t>(3u << s.cell_base);
+  auto [it, ok] = sessions_.emplace(user, std::move(s));
+  (void)ok;
+  return it->second;
+}
+
+bool KeyManager::rotate(unsigned user, unsigned max_wait_cycles) {
+  auto it = sessions_.find(user);
+  if (it == sessions_.end()) return false;
+  // Updating the round-key RAM while a block of this slot is in flight
+  // would corrupt it mid-encryption; drain first.
+  unsigned waited = 0;
+  while (acc_.keySlotBusy(it->second.slot)) {
+    if (waited++ >= max_wait_cycles) return false;
+    acc_.tick();
+  }
+  Session candidate = it->second;
+  candidate.key = freshKey();
+  candidate.generation++;
+  if (!install(candidate)) return false;
+  it->second = std::move(candidate);
+  return true;
+}
+
+bool KeyManager::closeSession(unsigned user) {
+  auto it = sessions_.find(user);
+  if (it == sessions_.end()) return false;
+  unsigned waited = 0;
+  while (acc_.keySlotBusy(it->second.slot)) {
+    if (waited++ >= 256) return false;
+    acc_.tick();
+  }
+  if (!acc_.clearKey(user, it->second.slot)) return false;
+  // Scrub the scratchpad cells as well.
+  for (unsigned c = 0; c < 2; ++c) {
+    acc_.writeKeyCell(user, it->second.cell_base + c, 0);
+  }
+  slot_in_use_ &= static_cast<std::uint8_t>(~(1u << it->second.slot));
+  cells_in_use_ &= static_cast<std::uint8_t>(~(3u << it->second.cell_base));
+  sessions_.erase(it);
+  return true;
+}
+
+const KeyManager::Session* KeyManager::session(unsigned user) const {
+  auto it = sessions_.find(user);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+}  // namespace aesifc::soc

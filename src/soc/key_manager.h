@@ -1,0 +1,59 @@
+#pragma once
+// Key management plane: the supervisor-side software that allocates
+// scratchpad cells and round-key slots to tenants, generates and installs
+// session keys, rotates them safely (only when the pipeline holds no block
+// using the old key), and zeroizes slots when sessions close. Exercises
+// the lifecycle story around the paper's key scratchpad (Fig. 5) and
+// zeroization semantics.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "common/rng.h"
+
+namespace aesifc::soc {
+
+class KeyManager {
+ public:
+  struct Session {
+    unsigned user = 0;
+    unsigned slot = 0;
+    unsigned cell_base = 0;
+    std::vector<std::uint8_t> key;   // current session key (16 bytes)
+    std::uint64_t generation = 0;    // bumped by every rotation
+  };
+
+  KeyManager(accel::AesAccelerator& acc, std::uint64_t seed = 0x6b657930);
+
+  // Allocates a slot + two scratchpad cells for `user`, generates a fresh
+  // key and installs it. Fails when resources are exhausted or the device
+  // refuses a step.
+  std::optional<Session> openSession(unsigned user);
+
+  // Installs a fresh key into the user's existing slot. Waits (ticking the
+  // device) until no in-flight block references the slot; fails after
+  // `max_wait_cycles`. Blocks submitted before the rotation complete under
+  // the old key; blocks submitted after use the new one.
+  bool rotate(unsigned user, unsigned max_wait_cycles = 256);
+
+  // Zeroizes the slot and frees the resources.
+  bool closeSession(unsigned user);
+
+  const Session* session(unsigned user) const;
+  std::size_t activeSessions() const { return sessions_.size(); }
+
+ private:
+  std::vector<std::uint8_t> freshKey();
+  bool install(Session& s);
+
+  accel::AesAccelerator& acc_;
+  Rng rng_;
+  std::map<unsigned, Session> sessions_;  // by user
+  std::uint8_t slot_in_use_ = 0;          // bitmask over round-key slots
+  std::uint8_t cells_in_use_ = 0;         // bitmask over scratchpad cells
+};
+
+}  // namespace aesifc::soc

@@ -1,0 +1,30 @@
+#pragma once
+// Channel-leakage and performance metrics used by the security experiments:
+// empirical mutual information between discrete sequences (how many bits
+// per observation a covert channel carries), correlation, and latency
+// statistics.
+
+#include <cstdint>
+#include <vector>
+
+namespace aesifc::soc {
+
+// Empirical mutual information I(X;Y) in bits between two equal-length
+// sequences of small non-negative integers.
+double mutualInformationBits(const std::vector<int>& x,
+                             const std::vector<int>& y);
+
+// Pearson correlation coefficient; 0 when either side is constant.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+struct LatencyStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::size_t count = 0;
+};
+
+LatencyStats latencyStats(const std::vector<std::uint64_t>& samples);
+
+}  // namespace aesifc::soc

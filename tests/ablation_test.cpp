@@ -1,0 +1,39 @@
+// Ablations of the protected design's choices: the input-aware stall meet
+// (vs. the paper's literal stage-only meet) and the overflow buffer depth.
+
+#include <gtest/gtest.h>
+
+#include "soc/attacks.h"
+
+namespace aesifc::soc {
+namespace {
+
+TEST(AcceptanceDelayAblation, StageOnlyMeetLeaksThroughAcceptance) {
+  // With the paper's literal stage-only meet, Alice's granted stalls delay
+  // Eve's *acceptance*, which Eve decodes from probe latency.
+  const auto r = runAcceptanceDelayAttack(/*meet_includes_inputs=*/false);
+  EXPECT_GT(r.mi_bits, 0.5) << "accuracy=" << r.accuracy;
+  EXPECT_GT(r.stalled_cycles, 0u);
+}
+
+TEST(AcceptanceDelayAblation, InputAwareMeetClosesTheChannel) {
+  const auto r = runAcceptanceDelayAttack(/*meet_includes_inputs=*/true);
+  EXPECT_LT(r.mi_bits, 0.2) << "accuracy=" << r.accuracy;
+  // The channel is closed by denying the stalls Eve's probes would observe.
+  EXPECT_GT(r.denied_stalls, 0u);
+}
+
+TEST(AcceptanceDelayAblation, ProbesTrappedOnlyUnderStageOnlyMeet) {
+  TimingChannelParams p;
+  const auto ablated = runAcceptanceDelayAttack(false, p);
+  const auto fixed = runAcceptanceDelayAttack(true, p);
+  // Stage-only meet: probes submitted during a granted stall stay trapped
+  // past their window (fewer completions than windows). The input-aware
+  // meet returns every probe with a flat latency.
+  EXPECT_LT(ablated.probe_latency.count, p.secret_bits);
+  EXPECT_EQ(fixed.probe_latency.count, p.secret_bits);
+  EXPECT_LE(fixed.probe_latency.max - fixed.probe_latency.min, 4u);
+}
+
+}  // namespace
+}  // namespace aesifc::soc

@@ -1,0 +1,113 @@
+// Extended accelerator features: key zeroization, hardware tag readout,
+// and the meet-rule configuration knob.
+
+#include <gtest/gtest.h>
+
+#include "accel/driver.h"
+#include "common/rng.h"
+
+namespace aesifc::accel {
+namespace {
+
+using lattice::Conf;
+using lattice::Integ;
+using lattice::Principal;
+using lattice::TagCodec;
+
+struct ExtFixture : ::testing::Test {
+  AesAccelerator acc{AcceleratorConfig{}};
+  unsigned sup = acc.addUser(Principal::supervisor());
+  unsigned alice = acc.addUser(Principal::user("alice", 1));
+  unsigned eve = acc.addUser(Principal::user("eve", 2));
+  Rng rng{321};
+
+  std::vector<std::uint8_t> key(std::uint8_t seed) {
+    std::vector<std::uint8_t> k(16);
+    for (auto& b : k) b = static_cast<std::uint8_t>(seed + rng.next());
+    return k;
+  }
+};
+
+TEST_F(ExtFixture, OwnerCanZeroizeOwnKey) {
+  ASSERT_TRUE(loadKey128(acc, alice, 1, 2, key(1), Conf::category(1)));
+  EXPECT_TRUE(acc.roundKeys().valid(1));
+  EXPECT_TRUE(acc.clearKey(alice, 1));
+  EXPECT_FALSE(acc.roundKeys().valid(1));
+  // Subsequent submits against the cleared slot are refused.
+  EXPECT_FALSE(acc.submit({1, alice, 1, false, {}}));
+}
+
+TEST_F(ExtFixture, SupervisorCanZeroizeAnyKey) {
+  ASSERT_TRUE(loadKey128(acc, alice, 1, 2, key(2), Conf::category(1)));
+  EXPECT_TRUE(acc.clearKey(sup, 1));
+  EXPECT_FALSE(acc.roundKeys().valid(1));
+}
+
+TEST_F(ExtFixture, ForeignUserCannotZeroize) {
+  ASSERT_TRUE(loadKey128(acc, alice, 1, 2, key(3), Conf::category(1)));
+  EXPECT_FALSE(acc.clearKey(eve, 1));
+  EXPECT_TRUE(acc.roundKeys().valid(1));
+  EXPECT_GE(acc.eventCount(SecurityEventKind::KeySlotBlocked), 1u);
+}
+
+TEST_F(ExtFixture, BaselineSkipsZeroizeCheck) {
+  AesAccelerator base{AcceleratorConfig{SecurityMode::Baseline, 10, 32,
+                                        false, true}};
+  const unsigned a = base.addUser(Principal::user("alice", 1));
+  const unsigned e = base.addUser(Principal::user("eve", 2));
+  ASSERT_TRUE(loadKey128(base, a, 1, 2, key(4), Conf::category(1)));
+  // The unprotected design lets Eve destroy Alice's key (a row-2 / row-5
+  // integrity violation).
+  EXPECT_TRUE(base.clearKey(e, 1));
+}
+
+TEST_F(ExtFixture, ZeroizeRefusedWhileInFlight) {
+  ASSERT_TRUE(loadKey128(acc, alice, 1, 2, key(5), Conf::category(1)));
+  ASSERT_TRUE(acc.submit({1, alice, 1, false, {}}));
+  acc.tick();  // block now occupies a stage
+  EXPECT_FALSE(acc.clearKey(alice, 1));
+  acc.run(40);  // drain
+  while (acc.fetchOutput(alice)) {
+  }
+  EXPECT_TRUE(acc.clearKey(alice, 1));
+}
+
+TEST_F(ExtFixture, StageHwTagEncodesUserCategory) {
+  ASSERT_TRUE(loadKey128(acc, alice, 1, 2, key(6), Conf::category(1)));
+  ASSERT_TRUE(acc.submit({7, alice, 1, false, {}}));
+  acc.tick();
+  const auto tag = acc.stageHwTag(0);
+  ASSERT_TRUE(tag.has_value());
+  // SoC palette: alice = category 1 in both halves -> 0x11.
+  EXPECT_EQ(*tag, 0x11);
+  EXPECT_FALSE(acc.stageHwTag(5).has_value());  // empty stage
+}
+
+TEST_F(ExtFixture, StageHwTagForMasterKeyUse) {
+  std::vector<std::uint8_t> master = key(7);
+  ASSERT_TRUE(loadKey128(acc, sup, 0, 6, master, Conf::top()));
+  ASSERT_TRUE(acc.submit({8, alice, 0, false, {}}));
+  acc.tick();
+  const auto tag = acc.stageHwTag(0);
+  ASSERT_TRUE(tag.has_value());
+  // conf = top (palette 15), integ = alice's category (palette 1) -> 0x1f.
+  EXPECT_EQ(TagCodec::confField(*tag), 15u);
+  EXPECT_EQ(TagCodec::integField(*tag), 1u);
+}
+
+TEST(TagCodecSoc, UserCategoriesPaletteShape) {
+  const auto codec = TagCodec::userCategories();
+  EXPECT_EQ(codec.conf(0), Conf::bottom());
+  EXPECT_EQ(codec.integ(0), Integ::top());
+  EXPECT_EQ(codec.conf(3), Conf::category(3));
+  EXPECT_EQ(codec.conf(15), Conf::top());
+  EXPECT_EQ(codec.integ(15), Integ::bottom());
+  // Per-user labels round-trip.
+  const auto alice = Principal::user("alice", 4).authority;
+  const auto t = codec.encode(alice);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(codec.decode(*t), alice);
+}
+
+}  // namespace
+}  // namespace aesifc::accel

@@ -1,0 +1,110 @@
+#include "area/model.h"
+
+#include <gtest/gtest.h>
+
+#include "rtl/verif_models.h"
+
+namespace aesifc::area {
+namespace {
+
+DesignParams baseParams() { return DesignParams{}; }
+DesignParams protParams() {
+  DesignParams p;
+  p.protected_mode = true;
+  return p;
+}
+
+TEST(AreaModel, BaselineMatchesPaperTable2) {
+  const auto bom = estimateAccelerator(baseParams());
+  // Calibrated against the paper's baseline column.
+  EXPECT_EQ(bom.total.luts, 13275u);
+  EXPECT_EQ(bom.total.ffs, 14645u);
+  EXPECT_EQ(bom.total.brams, 40u);
+  EXPECT_DOUBLE_EQ(bom.fmax_mhz, 400.0);
+}
+
+TEST(AreaModel, ProtectedDeltasMatchPaperShape) {
+  const auto base = estimateAccelerator(baseParams());
+  const auto prot = estimateAccelerator(protParams());
+  const double dluts =
+      100.0 * (static_cast<double>(prot.total.luts) - base.total.luts) /
+      base.total.luts;
+  const double dffs =
+      100.0 * (static_cast<double>(prot.total.ffs) - base.total.ffs) /
+      base.total.ffs;
+  // Paper: +5.6% LUTs, +6.6% FFs, +10% BRAMs, +0% frequency.
+  EXPECT_NEAR(dluts, 5.6, 1.0);
+  EXPECT_NEAR(dffs, 6.6, 1.0);
+  EXPECT_EQ(prot.total.brams, base.total.brams + 4);
+  EXPECT_DOUBLE_EQ(prot.fmax_mhz, base.fmax_mhz);
+}
+
+TEST(AreaModel, ProtectionOverheadIsItemized) {
+  const auto prot = estimateAccelerator(protParams());
+  bool has_tags = false, has_meet = false, has_overflow = false;
+  for (const auto& item : prot.items) {
+    if (item.name.find("tag registers") != std::string::npos) has_tags = true;
+    if (item.name.find("meet tree") != std::string::npos) has_meet = true;
+    if (item.name.find("overflow") != std::string::npos) has_overflow = true;
+  }
+  EXPECT_TRUE(has_tags);
+  EXPECT_TRUE(has_meet);
+  EXPECT_TRUE(has_overflow);
+}
+
+TEST(AreaModel, ScalesWithRounds) {
+  DesignParams p14 = baseParams();
+  p14.rounds = 14;  // AES-256-capable pipeline
+  const auto b10 = estimateAccelerator(baseParams());
+  const auto b14 = estimateAccelerator(p14);
+  EXPECT_GT(b14.total.luts, b10.total.luts);
+  EXPECT_GT(b14.total.ffs, b10.total.ffs);
+  EXPECT_GT(b14.total.brams, b10.total.brams);
+}
+
+TEST(AreaModel, TagWidthDrivesProtectionCost) {
+  DesignParams p8 = protParams();
+  DesignParams p4 = protParams();
+  p4.tag_bits = 4;
+  EXPECT_GT(estimateAccelerator(p8).total.ffs,
+            estimateAccelerator(p4).total.ffs);
+}
+
+TEST(AreaModel, Table2RowsPopulated) {
+  const auto rows = table2();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].metric, "LUTs");
+  EXPECT_EQ(rows[0].paper_base, 13275);
+  EXPECT_EQ(rows[3].paper_prot, 400);
+  const auto text = renderTable2();
+  EXPECT_NE(text.find("13275"), std::string::npos);
+  EXPECT_NE(text.find("Frequency"), std::string::npos);
+}
+
+TEST(NetlistEstimator, CountsRegistersAsFfs) {
+  auto m = rtl::buildStallPipeline(true);
+  const auto r = estimateModule(m);
+  // 2x 2-bit tags + 2x 8-bit data = 20 FFs.
+  EXPECT_EQ(r.ffs, 20u);
+  EXPECT_GT(r.luts, 0u);
+}
+
+TEST(NetlistEstimator, ProtectionDeltaVisibleAtNetlistLevel) {
+  // The meet-gated stall logic costs more LUTs than the ungated one — the
+  // netlist-level counterpart of Table 2's LUT delta.
+  const auto gated = estimateModule(rtl::buildStallPipeline(true));
+  const auto ungated = estimateModule(rtl::buildStallPipeline(false));
+  EXPECT_GT(gated.luts, ungated.luts);
+  EXPECT_EQ(gated.ffs, ungated.ffs);
+}
+
+TEST(Resources, Arithmetic) {
+  Resources a{1, 2, 3}, b{10, 20, 30};
+  const auto c = a + b;
+  EXPECT_EQ(c.luts, 11u);
+  EXPECT_EQ(c.ffs, 22u);
+  EXPECT_EQ(c.brams, 33u);
+}
+
+}  // namespace
+}  // namespace aesifc::area

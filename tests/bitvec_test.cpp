@@ -1,0 +1,163 @@
+#include "common/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace aesifc {
+namespace {
+
+TEST(BitVec, ZeroConstruction) {
+  BitVec v(128);
+  EXPECT_EQ(v.width(), 128u);
+  EXPECT_TRUE(v.isZero());
+  EXPECT_EQ(v.toU64(), 0u);
+}
+
+TEST(BitVec, ValueConstructionTruncates) {
+  BitVec v(4, 0xff);
+  EXPECT_EQ(v.toU64(), 0xfu);
+  BitVec w(1, 2);
+  EXPECT_EQ(w.toU64(), 0u);
+}
+
+TEST(BitVec, BitAccess) {
+  BitVec v(70);
+  v.setBit(0, true);
+  v.setBit(69, true);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(69));
+  EXPECT_FALSE(v.bit(35));
+  v.setBit(69, false);
+  EXPECT_FALSE(v.bit(69));
+}
+
+TEST(BitVec, HexRoundTrip) {
+  const BitVec v = BitVec::fromHex(128, "00112233445566778899aabbccddeeff");
+  EXPECT_EQ(v.toHex(), "00112233445566778899aabbccddeeff");
+  EXPECT_EQ(v.byte(0), 0xff);
+  EXPECT_EQ(v.byte(15), 0x00);
+}
+
+TEST(BitVec, HexIgnoresSeparators) {
+  EXPECT_EQ(BitVec::fromHex(16, "ab_cd"), BitVec(16, 0xabcd));
+}
+
+TEST(BitVec, AllOnes) {
+  const BitVec v = BitVec::allOnes(67);
+  EXPECT_EQ(v.popcount(), 67u);
+  EXPECT_EQ((~v).popcount(), 0u);
+}
+
+TEST(BitVec, SliceAndConcat) {
+  const BitVec v(16, 0xbeef);
+  EXPECT_EQ(v.slice(0, 8).toU64(), 0xefu);
+  EXPECT_EQ(v.slice(8, 8).toU64(), 0xbeu);
+  EXPECT_EQ(BitVec::concat(v.slice(8, 8), v.slice(0, 8)), v);
+}
+
+TEST(BitVec, SetSlice) {
+  BitVec v(16);
+  v.setSlice(4, BitVec(8, 0xab));
+  EXPECT_EQ(v.toU64(), 0xab0u);
+}
+
+TEST(BitVec, Resize) {
+  const BitVec v(8, 0xff);
+  EXPECT_EQ(v.resize(4).toU64(), 0xfu);
+  EXPECT_EQ(v.resize(16).toU64(), 0xffu);
+  EXPECT_EQ(v.resize(16).width(), 16u);
+}
+
+TEST(BitVec, Bitwise) {
+  const BitVec a(8, 0b1100);
+  const BitVec b(8, 0b1010);
+  EXPECT_EQ((a & b).toU64(), 0b1000u);
+  EXPECT_EQ((a | b).toU64(), 0b1110u);
+  EXPECT_EQ((a ^ b).toU64(), 0b0110u);
+}
+
+TEST(BitVec, AddWrapsAtWidth) {
+  const BitVec a(8, 0xff);
+  EXPECT_EQ(a.add(BitVec(8, 1)).toU64(), 0u);
+  EXPECT_EQ(a.add(BitVec(8, 2)).toU64(), 1u);
+}
+
+TEST(BitVec, AddCarriesAcrossWords) {
+  BitVec a = BitVec::allOnes(128);
+  BitVec r = a.add(BitVec(128, 1));
+  EXPECT_TRUE(r.isZero());
+}
+
+TEST(BitVec, SubIsAddInverse) {
+  Rng rng{11};
+  for (int i = 0; i < 50; ++i) {
+    const BitVec a = rng.bits(96);
+    const BitVec b = rng.bits(96);
+    EXPECT_EQ(a.add(b).sub(b), a);
+  }
+}
+
+TEST(BitVec, Shifts) {
+  const BitVec v(8, 0b0110);
+  EXPECT_EQ(v.shl(1).toU64(), 0b1100u);
+  EXPECT_EQ(v.shr(1).toU64(), 0b0011u);
+  EXPECT_EQ(v.shl(8).toU64(), 0u);
+}
+
+TEST(BitVec, UnsignedCompare) {
+  EXPECT_TRUE(BitVec(8, 3).ult(BitVec(8, 5)));
+  EXPECT_FALSE(BitVec(8, 5).ult(BitVec(8, 3)));
+  EXPECT_FALSE(BitVec(8, 5).ult(BitVec(8, 5)));
+  // MSB matters across words.
+  BitVec hi(128);
+  hi.setBit(127, true);
+  EXPECT_TRUE(BitVec(128, 1).ult(hi));
+}
+
+TEST(BitVec, BytesRoundTrip) {
+  Rng rng{5};
+  const BitVec v = rng.bits(128);
+  const auto bytes = v.toBytes();
+  ASSERT_EQ(bytes.size(), 16u);
+  EXPECT_EQ(BitVec::fromBytes(bytes.data(), 16), v);
+}
+
+TEST(BitVec, HashDiffers) {
+  EXPECT_NE(BitVec(8, 1).hash(), BitVec(8, 2).hash());
+  EXPECT_NE(BitVec(8, 1).hash(), BitVec(9, 1).hash());
+}
+
+class BitVecWidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitVecWidthTest, DeMorgan) {
+  Rng rng{GetParam()};
+  const BitVec a = rng.bits(GetParam());
+  const BitVec b = rng.bits(GetParam());
+  EXPECT_EQ(~(a & b), (~a | ~b));
+  EXPECT_EQ(~(a | b), (~a & ~b));
+}
+
+TEST_P(BitVecWidthTest, XorSelfIsZero) {
+  Rng rng{GetParam() + 1};
+  const BitVec a = rng.bits(GetParam());
+  EXPECT_TRUE((a ^ a).isZero());
+}
+
+TEST_P(BitVecWidthTest, ShlShrInverseForLowBits) {
+  Rng rng{GetParam() + 2};
+  const unsigned w = GetParam();
+  BitVec a = rng.bits(w);
+  if (w > 4) {
+    // Clear the top 4 bits so a left-then-right shift is lossless.
+    for (unsigned i = w - 4; i < w; ++i) a.setBit(i, false);
+    EXPECT_EQ(a.shl(4).shr(4), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVecWidthTest,
+                         ::testing::Values(1u, 7u, 8u, 19u, 64u, 65u, 128u,
+                                           200u));
+
+}  // namespace
+}  // namespace aesifc

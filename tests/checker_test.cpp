@@ -1,0 +1,309 @@
+#include "ifc/checker.h"
+
+#include <gtest/gtest.h>
+
+#include "hdl/ir.h"
+
+namespace aesifc::ifc {
+namespace {
+
+using hdl::LabelTerm;
+using hdl::Module;
+using lattice::Conf;
+using lattice::Integ;
+using lattice::Label;
+using lattice::Principal;
+
+const Label kPT = Label::publicTrusted();
+const Label kPU = Label::publicUntrusted();
+const Label kSecret{Conf::top(), Integ::top()};
+
+// --- Explicit flows -----------------------------------------------------------
+
+TEST(Checker, AllowsUpwardFlow) {
+  Module m{"up"};
+  const auto a = m.input("a", 8, LabelTerm::of(kPT));
+  const auto o = m.output("o", 8, LabelTerm::of(kSecret));
+  m.assign(o, m.read(a));
+  EXPECT_TRUE(check(m).ok());
+}
+
+TEST(Checker, RejectsDownwardFlow) {
+  Module m{"down"};
+  const auto a = m.input("a", 8, LabelTerm::of(kSecret));
+  const auto o = m.output("o", 8, LabelTerm::of(kPT));
+  m.assign(o, m.read(a));
+  const auto report = check(m);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::FlowViolation);
+  EXPECT_EQ(report.violations[0].sink, "o");
+  EXPECT_EQ(report.violations[0].source, "a");
+}
+
+TEST(Checker, RejectsIntegrityViolation) {
+  Module m{"integ"};
+  const auto a = m.input("a", 8, LabelTerm::of(kPU));
+  const auto o = m.output("o", 8, LabelTerm::of(kPT));  // trusted sink
+  m.assign(o, m.read(a));
+  EXPECT_EQ(check(m).count(ViolationKind::FlowViolation), 1u);
+}
+
+TEST(Checker, JoinOfOperands) {
+  Module m{"join"};
+  const auto a = m.input("a", 8, LabelTerm::of(Label{Conf::category(1), Integ::top()}));
+  const auto b = m.input("b", 8, LabelTerm::of(Label{Conf::category(2), Integ::top()}));
+  // Sink covering both categories: fine.
+  const auto o1 = m.output("o1", 8,
+                           LabelTerm::of(Label{Conf::category(1).join(Conf::category(2)),
+                                               Integ::top()}));
+  m.assign(o1, m.bxor(m.read(a), m.read(b)));
+  EXPECT_TRUE(check(m).ok());
+
+  // Sink covering only one category: rejected.
+  Module m2{"join2"};
+  const auto a2 = m2.input("a", 8, LabelTerm::of(Label{Conf::category(1), Integ::top()}));
+  const auto b2 = m2.input("b", 8, LabelTerm::of(Label{Conf::category(2), Integ::top()}));
+  const auto o2 = m2.output("o", 8,
+                            LabelTerm::of(Label{Conf::category(1), Integ::top()}));
+  m2.assign(o2, m2.bxor(m2.read(a2), m2.read(b2)));
+  EXPECT_FALSE(check(m2).ok());
+}
+
+TEST(Checker, ConstantsArePublic) {
+  Module m{"const"};
+  const auto o = m.output("o", 8, LabelTerm::of(kPT));
+  m.assign(o, m.c(8, 0x42));
+  EXPECT_TRUE(check(m).ok());
+}
+
+TEST(Checker, FlowsThroughWires) {
+  Module m{"wires"};
+  const auto a = m.input("a", 8, LabelTerm::of(kSecret));
+  const auto w1 = m.wire("w1", 8);
+  const auto w2 = m.wire("w2", 8);
+  const auto o = m.output("o", 8, LabelTerm::of(kPT));
+  m.assign(w1, m.read(a));
+  m.assign(w2, m.bnot(m.read(w1)));
+  m.assign(o, m.read(w2));
+  EXPECT_FALSE(check(m).ok());
+}
+
+// --- Implicit flows -------------------------------------------------------------
+
+TEST(Checker, MuxConditionIsImplicitFlow) {
+  Module m{"mux"};
+  const auto s = m.input("s", 1, LabelTerm::of(kSecret));
+  const auto o = m.output("o", 8, LabelTerm::of(kPT));
+  // Both data branches are public constants; the secret condition leaks.
+  m.assign(o, m.mux(m.read(s), m.c(8, 1), m.c(8, 0)));
+  const auto report = check(m);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].sink, "o");
+}
+
+TEST(Checker, RegisterEnableIsTimingFlow) {
+  Module m{"entime"};
+  const auto s = m.input("s", 1, LabelTerm::of(kSecret));
+  const auto d = m.input("d", 8, LabelTerm::of(kPT));
+  const auto r = m.reg("r", 8, LabelTerm::of(kPT));
+  m.regWrite(r, m.read(d), m.read(s));  // update time depends on a secret
+  const auto report = check(m);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::TimingViolation);
+  EXPECT_EQ(report.violations[0].sink, "r");
+}
+
+TEST(Checker, RegisterDataFlowChecked) {
+  Module m{"regdata"};
+  const auto s = m.input("s", 8, LabelTerm::of(kSecret));
+  const auto r = m.reg("r", 8, LabelTerm::of(kPT));
+  m.regWrite(r, m.read(s), m.c(1, 1));
+  const auto report = check(m);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::FlowViolation);
+}
+
+TEST(Checker, SecretFeedbackIntoSecretRegIsFine) {
+  Module m{"fb"};
+  const auto s = m.input("s", 8, LabelTerm::of(kSecret));
+  const auto r = m.reg("r", 8, LabelTerm::of(kSecret));
+  m.regWrite(r, m.bxor(m.read(r), m.read(s)), m.c(1, 1));
+  EXPECT_TRUE(check(m).ok());
+}
+
+// --- Annotation hygiene -----------------------------------------------------------
+
+TEST(Checker, FlagsUnlabeledStateElements) {
+  Module m{"nolabel"};
+  const auto a = m.input("a", 8, LabelTerm::unconstrained());
+  const auto o = m.output("o", 8, LabelTerm::of(kPT));
+  m.assign(o, m.read(a));
+  EXPECT_EQ(check(m).count(ViolationKind::MissingAnnotation), 1u);
+}
+
+TEST(Checker, UnconstrainedWiresNeedNoCheck) {
+  Module m{"freewire"};
+  const auto a = m.input("a", 8, LabelTerm::of(kSecret));
+  const auto w = m.wire("w", 8);  // inferred, not checked
+  const auto o = m.output("o", 8, LabelTerm::of(kSecret));
+  m.assign(w, m.read(a));
+  m.assign(o, m.read(w));
+  EXPECT_TRUE(check(m).ok());
+}
+
+// --- Dependent labels ---------------------------------------------------------------
+
+TEST(Checker, DependentLabelResolvesPerValue) {
+  Module m{"dep"};
+  const auto way = m.input("way", 1, LabelTerm::of(kPT));
+  const auto d = m.input("d", 8, LabelTerm::dependent(way, {kPT, kPU}));
+  // Trusted sink: ok only when way==0, so the checker must reject (way==1
+  // valuation exhibits the violation).
+  const auto o = m.output("o", 8, LabelTerm::of(kPT));
+  m.assign(o, m.read(d));
+  const auto report = check(m);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations[0].valuation.find("way=1"), std::string::npos);
+}
+
+TEST(Checker, DependentSinkAcceptsMatchingSource) {
+  Module m{"dep2"};
+  const auto way = m.input("way", 1, LabelTerm::of(kPT));
+  const auto d = m.input("d", 8, LabelTerm::dependent(way, {kPT, kPU}));
+  const auto o = m.output("o", 8, LabelTerm::dependent(way, {kPT, kPU}));
+  m.assign(o, m.read(d));
+  EXPECT_TRUE(check(m).ok());
+}
+
+TEST(Checker, MuxPruningWithPinnedSelector) {
+  Module m{"prune"};
+  const auto way = m.input("way", 1, LabelTerm::of(kPT));
+  const auto secret = m.input("sec", 8, LabelTerm::of(kSecret));
+  const auto pub = m.input("pub", 8, LabelTerm::of(kPT));
+  // o is public only when way==0 selects the public branch; the label table
+  // says way==1 makes the output secret, so both valuations check out.
+  const auto o = m.output(
+      "o", 8, LabelTerm::dependent(way, {kPT, kSecret}));
+  m.assign(o, m.mux(m.eq(m.read(way), m.c(1, 1)), m.read(secret), m.read(pub)));
+  EXPECT_TRUE(check(m).ok());
+}
+
+TEST(Checker, SelectorMustBeLabeled) {
+  Module m{"selbad"};
+  const auto sel = m.input("sel", 1, LabelTerm::unconstrained());
+  const auto d = m.input("d", 8, LabelTerm::dependent(sel, {kPT, kPU}));
+  const auto o = m.output("o", 8, LabelTerm::dependent(sel, {kPT, kPU}));
+  m.assign(o, m.read(d));
+  EXPECT_GE(check(m).count(ViolationKind::IllFormedDependent), 1u);
+}
+
+TEST(Checker, SelectorLabelMustFlowToLevels) {
+  Module m{"selflow"};
+  // A *secret* selector classifying public data leaks the selector.
+  const auto sel = m.input("sel", 1, LabelTerm::of(kSecret));
+  const auto d = m.input("d", 8, LabelTerm::dependent(sel, {kPT, kPU}));
+  const auto o = m.output("o", 8, LabelTerm::dependent(sel, {kPT, kPU}));
+  m.assign(o, m.read(d));
+  EXPECT_GE(check(m).count(ViolationKind::IllFormedDependent), 1u);
+}
+
+TEST(Checker, EnableDecidedZeroMeansNoFlow) {
+  Module m{"endec"};
+  const auto sel = m.input("sel", 1, LabelTerm::of(kPT));
+  const auto secret = m.input("sec", 8,
+                              LabelTerm::dependent(sel, {kPT, kSecret}));
+  const auto r = m.reg("r", 8, LabelTerm::of(kPT));
+  // Write only when sel==0, i.e. only when the source is public.
+  m.regWrite(r, m.read(secret), m.eq(m.read(sel), m.c(1, 0)));
+  EXPECT_TRUE(check(m).ok());
+}
+
+// --- Downgrades -----------------------------------------------------------------------
+
+TEST(Checker, DeclassifyByTrustedPrincipalAccepted) {
+  Module m{"dg1"};
+  const auto s = m.input("s", 8, LabelTerm::of(Label{Conf::top(), Integ::top()}));
+  const auto o = m.output("o", 8, LabelTerm::of(kPT));
+  m.declassify(o, m.read(s), kPT, Principal::supervisor());
+  EXPECT_TRUE(check(m).ok());
+}
+
+TEST(Checker, DeclassifyByUntrustedPrincipalRejected) {
+  Module m{"dg2"};
+  const auto s = m.input("s", 8,
+                         LabelTerm::of(Label{Conf::top(), Integ::bottom()}));
+  const auto o = m.output("o", 8, LabelTerm::of(kPU));
+  m.declassify(o, m.read(s), kPU,
+               Principal{"mallory", Label{Conf::bottom(), Integ::bottom()}});
+  EXPECT_EQ(check(m).count(ViolationKind::DowngradeRejected), 1u);
+}
+
+TEST(Checker, DeclassifyCannotAlsoEndorse) {
+  Module m{"dg3"};
+  const auto s = m.input("s", 8,
+                         LabelTerm::of(Label{Conf::top(), Integ::bottom()}));
+  // Target claims full integrity: declassification may not raise it.
+  const auto o = m.output("o", 8, LabelTerm::of(kPT));
+  m.declassify(o, m.read(s), kPT, Principal::supervisor());
+  EXPECT_EQ(check(m).count(ViolationKind::DowngradeRejected), 1u);
+}
+
+TEST(Checker, EndorseByReaderAccepted) {
+  Module m{"en1"};
+  const auto s = m.input("s", 8, LabelTerm::of(kPU));
+  const auto o = m.output("o", 8, LabelTerm::of(kPT));
+  m.endorse(o, m.read(s), kPT, Principal::supervisor());
+  EXPECT_TRUE(check(m).ok());
+}
+
+TEST(Checker, EndorseBeyondAuthorityRejected) {
+  Module m{"en2"};
+  const auto s = m.input("s", 8, LabelTerm::of(kPU));
+  const auto o = m.output("o", 8, LabelTerm::of(kPT));
+  m.endorse(o, m.read(s), kPT, Principal::user("alice", 1));
+  EXPECT_EQ(check(m).count(ViolationKind::DowngradeRejected), 1u);
+}
+
+TEST(Checker, DowngradeResultMustFlowToSink) {
+  Module m{"dg4"};
+  const auto s = m.input("s", 8, LabelTerm::of(kSecret));
+  // Sink requires untrusted integrity is fine but conf category 1.
+  const auto o = m.output("o", 8,
+                          LabelTerm::of(Label{Conf::bottom(), Integ::top()}));
+  // Declassify only down to category 1, which does not flow to bottom conf.
+  m.declassify(o, m.read(s), Label{Conf::category(1), Integ::top()},
+               Principal::supervisor());
+  EXPECT_EQ(check(m).count(ViolationKind::FlowViolation), 1u);
+}
+
+// --- Dedup & reporting ------------------------------------------------------------------
+
+TEST(Checker, DedupAcrossValuations) {
+  Module m{"dedup"};
+  const auto sel = m.input("sel", 2, LabelTerm::of(kPT));
+  const auto s = m.input("s", 8, LabelTerm::of(kSecret));
+  const auto o = m.output("o", 8, LabelTerm::of(kPT));
+  // Violates under every one of the 4 valuations, but reported once.
+  m.assign(o, m.read(s));
+  (void)sel;
+  const auto d = m.input("d", 8, LabelTerm::dependent(sel, {kPT, kPT, kPT, kPT}));
+  const auto o2 = m.output("o2", 8, LabelTerm::of(kPT));
+  m.assign(o2, m.read(d));
+  EXPECT_EQ(check(m).count(ViolationKind::FlowViolation), 1u);
+}
+
+TEST(Checker, ReportRendering) {
+  Module m{"rep"};
+  const auto s = m.input("s", 8, LabelTerm::of(kSecret));
+  const auto o = m.output("o", 8, LabelTerm::of(kPT));
+  m.assign(o, m.read(s));
+  const auto report = check(m);
+  const auto text = report.toString();
+  EXPECT_NE(text.find("FAILED"), std::string::npos);
+  EXPECT_NE(text.find("o"), std::string::npos);
+  EXPECT_TRUE(report.mentionsSink("o"));
+  EXPECT_FALSE(report.mentionsSink("nope"));
+}
+
+}  // namespace
+}  // namespace aesifc::ifc

@@ -1,0 +1,148 @@
+#include "lattice/downgrade.h"
+
+#include <gtest/gtest.h>
+
+namespace aesifc::lattice {
+namespace {
+
+const Principal kUntrusted{"untrusted",
+                           Label{Conf::bottom(), Integ::bottom()}};
+const Principal kTrusted{"trusted", Label{Conf::top(), Integ::top()}};
+
+// --- The paper's worked example (Section 2.4) ---------------------------------
+
+TEST(Declassify, UntrustedPrincipalCannotDeclassify) {
+  // (S,U) cannot be declassified to (P,U) by an untrusted user because
+  // S !<=C P joinC r(U).
+  const Label from{Conf::top(), Integ::bottom()};
+  const Label to{Conf::bottom(), Integ::bottom()};
+  const auto d = checkDeclassify(from, to, kUntrusted);
+  EXPECT_FALSE(d.allowed);
+}
+
+TEST(Declassify, TrustedPrincipalCanDeclassify) {
+  const Label from{Conf::top(), Integ::bottom()};
+  const Label to{Conf::bottom(), Integ::bottom()};
+  EXPECT_TRUE(checkDeclassify(from, to, kTrusted).allowed);
+}
+
+TEST(Declassify, MustNotChangeIntegrity) {
+  const Label from{Conf::top(), Integ::bottom()};
+  const Label to{Conf::bottom(), Integ::top()};  // tries to raise integrity
+  EXPECT_FALSE(checkDeclassify(from, to, kTrusted).allowed);
+}
+
+// --- Section 3.2.2: master key vs per-user key --------------------------------
+
+TEST(Declassify, UserCanReleaseOwnKeyCiphertext) {
+  const auto alice = Principal::user("alice", 1);
+  // ciphertext label (ck join cu, iu) with ck = cu = {1}.
+  const Label from{Conf::category(1), Integ::category(1)};
+  const Label to{Conf::bottom(), Integ::category(1)};
+  EXPECT_TRUE(checkDeclassify(from, to, alice).allowed);
+}
+
+TEST(Declassify, UserCannotReleaseMasterKeyCiphertext) {
+  const auto alice = Principal::user("alice", 1);
+  const Label from{Conf::top(), Integ::category(1)};  // ck = top
+  const Label to{Conf::bottom(), Integ::category(1)};
+  const auto d = checkDeclassify(from, to, alice);
+  EXPECT_FALSE(d.allowed);
+  EXPECT_NE(d.reason.find("alice"), std::string::npos);
+}
+
+TEST(Declassify, SupervisorCanReleaseMasterKeyCiphertext) {
+  const Label from{Conf::top(), Integ::category(1)};
+  const Label to{Conf::bottom(), Integ::category(1)};
+  EXPECT_TRUE(checkDeclassify(from, to, Principal::supervisor()).allowed);
+}
+
+TEST(Declassify, CannotReleaseAnotherUsersCategory) {
+  // Eve (cat 2) tries to declassify data that still carries Alice's cat 1.
+  const auto eve = Principal::user("eve", 2);
+  const Label from{Conf::category(1).join(Conf::category(2)),
+                   Integ::category(2)};
+  const Label to{Conf::bottom(), Integ::category(2)};
+  EXPECT_FALSE(checkDeclassify(from, to, eve).allowed);
+}
+
+TEST(Declassify, RaisingConfidentialityIsAlwaysAllowed) {
+  // "Declassifying" upward is an ordinary legal flow.
+  const Label from{Conf::bottom(), Integ::bottom()};
+  const Label to{Conf::top(), Integ::bottom()};
+  EXPECT_TRUE(checkDeclassify(from, to, kUntrusted).allowed);
+}
+
+// --- Endorsement ----------------------------------------------------------------
+
+TEST(Endorse, MustNotChangeConfidentiality) {
+  const Label from{Conf::bottom(), Integ::bottom()};
+  const Label to{Conf::top(), Integ::bottom()};
+  EXPECT_FALSE(checkEndorse(from, to, kTrusted).allowed);
+}
+
+TEST(Endorse, PrincipalConfersOnlyItsOwnTrust) {
+  const auto alice = Principal::user("alice", 1);
+  const Label from{Conf::bottom(), Integ::bottom()};
+  // Alice can endorse into her own trust category...
+  EXPECT_TRUE(
+      checkEndorse(from, Label{Conf::bottom(), Integ::category(1)}, alice)
+          .allowed);
+  // ...but not into Bob's (cat 2) or full trust.
+  EXPECT_FALSE(
+      checkEndorse(from, Label{Conf::bottom(), Integ::category(2)}, alice)
+          .allowed);
+  EXPECT_FALSE(
+      checkEndorse(from, Label{Conf::bottom(), Integ::top()}, alice).allowed);
+}
+
+TEST(Endorse, TransparencyPrincipalMustReadData) {
+  // Alice cannot endorse data she cannot read (Bob's secret).
+  const auto alice = Principal::user("alice", 1);
+  const Label from{Conf::category(2), Integ::bottom()};
+  const Label to{Conf::category(2), Integ::category(1)};
+  const auto d = checkEndorse(from, to, alice);
+  EXPECT_FALSE(d.allowed);
+  EXPECT_NE(d.reason.find("read"), std::string::npos);
+}
+
+TEST(Endorse, SupervisorEndorsesAnythingItReads) {
+  const Label from{Conf::top(), Integ::bottom()};
+  const Label to{Conf::top(), Integ::top()};
+  EXPECT_TRUE(checkEndorse(from, to, Principal::supervisor()).allowed);
+}
+
+TEST(Endorse, LoweringIntegrityIsAlwaysAllowed) {
+  const Label from{Conf::bottom(), Integ::top()};
+  const Label to{Conf::bottom(), Integ::bottom()};
+  EXPECT_TRUE(checkEndorse(from, to, kUntrusted).allowed);
+}
+
+TEST(CheckDowngrade, Dispatch) {
+  const Label s_u{Conf::top(), Integ::bottom()};
+  const Label p_u{Conf::bottom(), Integ::bottom()};
+  EXPECT_TRUE(
+      checkDowngrade(DowngradeKind::Declassify, s_u, p_u, kTrusted).allowed);
+  EXPECT_FALSE(
+      checkDowngrade(DowngradeKind::Declassify, s_u, p_u, kUntrusted).allowed);
+}
+
+// Property: a plain legal flow is always an acceptable "downgrade" for any
+// principal (downgrading is a relaxation, never a restriction).
+class DowngradeMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DowngradeMonotoneTest, LegalFlowsPassDeclassify) {
+  const unsigned i = static_cast<unsigned>(GetParam());
+  const Label from{Conf::level(i), Integ::bottom()};
+  for (unsigned j = i; j <= 8; ++j) {
+    const Label to{Conf::level(j), Integ::bottom()};
+    EXPECT_TRUE(checkDeclassify(from, to, kUntrusted).allowed)
+        << "i=" << i << " j=" << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, DowngradeMonotoneTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace aesifc::lattice

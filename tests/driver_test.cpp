@@ -1,0 +1,178 @@
+#include "accel/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "aes/cipher.h"
+#include "common/rng.h"
+
+namespace aesifc::accel {
+namespace {
+
+using lattice::Conf;
+using lattice::Principal;
+
+struct DriverFixture : ::testing::TestWithParam<SecurityMode> {
+  AcceleratorConfig cfg() const {
+    AcceleratorConfig c;
+    c.mode = GetParam();
+    return c;
+  }
+
+  static std::vector<std::uint8_t> randomKey(Rng& rng) {
+    std::vector<std::uint8_t> k(16);
+    for (auto& b : k) b = static_cast<std::uint8_t>(rng.next());
+    return k;
+  }
+};
+
+TEST_P(DriverFixture, LoadKeyHelperWorks) {
+  AesAccelerator acc{cfg()};
+  const unsigned u = acc.addUser(Principal::user("alice", 1));
+  Rng rng{1};
+  EXPECT_TRUE(loadKey128(acc, u, 1, 0, randomKey(rng), Conf::category(1)));
+  EXPECT_TRUE(acc.roundKeys().valid(1));
+  // Wrong key length rejected.
+  EXPECT_FALSE(loadKey128(acc, u, 2, 0, std::vector<std::uint8_t>(8),
+                          Conf::category(1)));
+}
+
+TEST_P(DriverFixture, SingleBlockRoundTrip) {
+  AesAccelerator acc{cfg()};
+  const unsigned u = acc.addUser(Principal::user("alice", 1));
+  Rng rng{2};
+  const auto key = randomKey(rng);
+  ASSERT_TRUE(loadKey128(acc, u, 1, 0, key, Conf::category(1)));
+
+  AccelSession s{acc, u, 1};
+  aes::Block pt{};
+  for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+  const auto ct = s.encryptBlock(pt);
+  ASSERT_TRUE(ct.has_value());
+  EXPECT_EQ(*ct, aes::encryptBlock(pt, key.data(), aes::KeySize::Aes128));
+  const auto back = s.decryptBlock(*ct);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, pt);
+}
+
+TEST_P(DriverFixture, EcbMatchesSoftware) {
+  AesAccelerator acc{cfg()};
+  const unsigned u = acc.addUser(Principal::user("alice", 1));
+  Rng rng{3};
+  const auto key = randomKey(rng);
+  ASSERT_TRUE(loadKey128(acc, u, 1, 0, key, Conf::category(1)));
+  const auto ek = aes::expandKey(key, aes::KeySize::Aes128);
+
+  AccelSession s{acc, u, 1};
+  aes::Bytes msg(16 * 20);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+  const auto ct = s.ecbEncrypt(msg);
+  ASSERT_TRUE(ct.has_value());
+  EXPECT_EQ(*ct, aes::ecbEncrypt(msg, ek));
+  const auto back = s.ecbDecrypt(*ct);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, msg);
+}
+
+TEST_P(DriverFixture, CtrMatchesSoftwareIncludingPartialBlock) {
+  AesAccelerator acc{cfg()};
+  const unsigned u = acc.addUser(Principal::user("alice", 1));
+  Rng rng{4};
+  const auto key = randomKey(rng);
+  ASSERT_TRUE(loadKey128(acc, u, 1, 0, key, Conf::category(1)));
+  const auto ek = aes::expandKey(key, aes::KeySize::Aes128);
+
+  AccelSession s{acc, u, 1};
+  aes::Iv nonce{};
+  for (auto& b : nonce) b = static_cast<std::uint8_t>(rng.next());
+  nonce[8] = nonce[9] = nonce[10] = nonce[11] = 0;  // low counter headroom
+  nonce[12] = nonce[13] = nonce[14] = nonce[15] = 0;
+
+  aes::Bytes msg(100);  // not a block multiple
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+  const auto ct = s.ctrCrypt(msg, nonce);
+  ASSERT_TRUE(ct.has_value());
+  EXPECT_EQ(*ct, aes::ctrCrypt(msg, ek, nonce));
+  // CTR is an involution.
+  const auto back = s.ctrCrypt(*ct, nonce);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, msg);
+}
+
+TEST_P(DriverFixture, CbcMatchesSoftware) {
+  AesAccelerator acc{cfg()};
+  const unsigned u = acc.addUser(Principal::user("alice", 1));
+  Rng rng{5};
+  const auto key = randomKey(rng);
+  ASSERT_TRUE(loadKey128(acc, u, 1, 0, key, Conf::category(1)));
+  const auto ek = aes::expandKey(key, aes::KeySize::Aes128);
+
+  AccelSession s{acc, u, 1};
+  aes::Iv iv{};
+  for (auto& b : iv) b = static_cast<std::uint8_t>(rng.next());
+  aes::Bytes msg(16 * 6);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+
+  const auto ct = s.cbcEncrypt(msg, iv);
+  ASSERT_TRUE(ct.has_value());
+  EXPECT_EQ(*ct, aes::cbcEncrypt(msg, ek, iv));
+  const auto back = s.cbcDecrypt(*ct, iv);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, msg);
+}
+
+TEST_P(DriverFixture, PipelinedModesBeatChainedCbc) {
+  AesAccelerator acc{cfg()};
+  const unsigned u = acc.addUser(Principal::user("alice", 1));
+  Rng rng{6};
+  const auto key = randomKey(rng);
+  ASSERT_TRUE(loadKey128(acc, u, 1, 0, key, Conf::category(1)));
+
+  aes::Bytes msg(16 * 32);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+  aes::Iv iv{};
+
+  AccelSession ecb{acc, u, 1};
+  ASSERT_TRUE(ecb.ecbEncrypt(msg).has_value());
+  const auto ecb_cycles = ecb.cyclesUsed();
+
+  AccelSession cbc{acc, u, 1};
+  ASSERT_TRUE(cbc.cbcEncrypt(msg, iv).has_value());
+  const auto cbc_cycles = cbc.cyclesUsed();
+
+  // 32 pipelined blocks ~ 32+30 cycles; 32 chained blocks ~ 32*31 cycles.
+  EXPECT_GT(cbc_cycles, ecb_cycles * 5);
+}
+
+TEST_P(DriverFixture, RejectsUnalignedEcb) {
+  AesAccelerator acc{cfg()};
+  const unsigned u = acc.addUser(Principal::user("alice", 1));
+  Rng rng{7};
+  ASSERT_TRUE(loadKey128(acc, u, 1, 0, randomKey(rng), Conf::category(1)));
+  AccelSession s{acc, u, 1};
+  EXPECT_FALSE(s.ecbEncrypt(aes::Bytes(15)).has_value());
+  EXPECT_FALSE(s.cbcEncrypt(aes::Bytes(17), aes::Iv{}).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, DriverFixture,
+                         ::testing::Values(SecurityMode::Baseline,
+                                           SecurityMode::Protected));
+
+TEST(Driver, SuppressedOutputsReportedAsFailure) {
+  // Eve drives a session against the master key slot in protected mode: the
+  // device suppresses the outputs and the driver surfaces nullopt.
+  AcceleratorConfig cfg;
+  cfg.mode = SecurityMode::Protected;
+  AesAccelerator acc{cfg};
+  const unsigned sup = acc.addUser(Principal::supervisor());
+  const unsigned eve = acc.addUser(Principal::user("eve", 2));
+  Rng rng{8};
+  std::vector<std::uint8_t> master(16);
+  for (auto& b : master) b = static_cast<std::uint8_t>(rng.next());
+  ASSERT_TRUE(loadKey128(acc, sup, 0, 6, master, Conf::top()));
+
+  AccelSession s{acc, eve, 0};
+  EXPECT_FALSE(s.encryptBlock(aes::Block{}).has_value());
+}
+
+}  // namespace
+}  // namespace aesifc::accel

@@ -1,0 +1,205 @@
+#include "hdl/elaborate.h"
+
+#include <gtest/gtest.h>
+
+#include "hdl/parser.h"
+#include "ifc/checker.h"
+#include "sim/simulator.h"
+
+namespace aesifc::hdl {
+namespace {
+
+using lattice::Conf;
+using lattice::Integ;
+using lattice::Label;
+
+const LabelTerm kPT = LabelTerm::of(Label::publicTrusted());
+const Label kSecret{Conf::top(), Integ::top()};
+
+Module makeAdder() {
+  Module m{"adder"};
+  const auto x = m.input("x", 8, kPT);
+  const auto y = m.input("y", 8, kPT);
+  const auto sum = m.output("sum", 8, kPT);
+  m.assign(sum, m.add(m.read(x), m.read(y)));
+  return m;
+}
+
+TEST(Instantiate, FlattensAndComputes) {
+  Module top{"top"};
+  const auto a = top.input("a", 8, kPT);
+  const auto b = top.input("b", 8, kPT);
+  const auto o = top.output("o", 8, kPT);
+
+  const auto adder = makeAdder();
+  const auto r = instantiate(top, adder, "a1",
+                             {{"x", top.read(a)}, {"y", top.read(b)}});
+  top.assign(o, top.read(r.ports.at("sum")));
+
+  sim::Simulator s{top};
+  s.poke("a", BitVec(8, 30));
+  s.poke("b", BitVec(8, 12));
+  s.evalComb();
+  EXPECT_EQ(s.peek("o").toU64(), 42u);
+  EXPECT_TRUE(ifc::check(top).ok());
+}
+
+TEST(Instantiate, TwoInstancesStayIndependent) {
+  Module top{"top"};
+  const auto a = top.input("a", 8, kPT);
+  const auto o = top.output("o", 8, kPT);
+
+  const auto adder = makeAdder();
+  const auto r1 = instantiate(top, adder, "i1",
+                              {{"x", top.read(a)}, {"y", top.c(8, 1)}});
+  const auto r2 =
+      instantiate(top, adder, "i2",
+                  {{"x", top.read(r1.ports.at("sum"))}, {"y", top.c(8, 2)}});
+  top.assign(o, top.read(r2.ports.at("sum")));
+
+  sim::Simulator s{top};
+  s.poke("a", BitVec(8, 10));
+  s.evalComb();
+  EXPECT_EQ(s.peek("o").toU64(), 13u);
+}
+
+TEST(Instantiate, BoundaryLabelsAreChecked) {
+  // The adder's ports are (PUB,TRU); feeding a secret into it must be
+  // flagged at the instance boundary.
+  Module top{"top"};
+  const auto s = top.input("s", 8, LabelTerm::of(kSecret));
+  const auto o = top.output("o", 8, LabelTerm::of(kSecret));
+  const auto adder = makeAdder();
+  const auto r = instantiate(top, adder, "a1",
+                             {{"x", top.read(s)}, {"y", top.c(8, 1)}});
+  top.assign(o, top.read(r.ports.at("sum")));
+  const auto report = ifc::check(top);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.mentionsSink("a1__x")) << report.toString();
+}
+
+TEST(Instantiate, CopiesRegistersAndState) {
+  Module child{"ctr"};
+  const auto en = child.input("en", 1, kPT);
+  const auto c = child.reg("c", 4, kPT, BitVec(4, 3));
+  const auto out = child.output("val", 4, kPT);
+  child.regWrite(c, child.add(child.read(c), child.c(4, 1)), child.read(en));
+  child.assign(out, child.read(c));
+
+  Module top{"top"};
+  const auto go = top.input("go", 1, kPT);
+  const auto o = top.output("o", 4, kPT);
+  const auto r = instantiate(top, child, "k", {{"en", top.read(go)}});
+  top.assign(o, top.read(r.ports.at("val")));
+
+  sim::Simulator s{top};
+  EXPECT_EQ(s.peek("o").toU64(), 3u);  // child reset value preserved
+  s.poke("go", BitVec(1, 1));
+  s.step(2);
+  EXPECT_EQ(s.peek("o").toU64(), 5u);
+}
+
+TEST(Instantiate, RemapsDependentLabels) {
+  Module child{"port"};
+  const auto sel = child.input("sel", 1, kPT);
+  const auto d = child.input("d", 8,
+                             LabelTerm::dependent(sel, {Label::publicTrusted(),
+                                                        kSecret}));
+  const auto q = child.output("q", 8,
+                              LabelTerm::dependent(sel, {Label::publicTrusted(),
+                                                         kSecret}));
+  child.assign(q, child.read(d));
+
+  Module top{"top"};
+  const auto way = top.input("way", 1, kPT);
+  const auto data = top.input("data", 8,
+                              LabelTerm::dependent(way, {Label::publicTrusted(),
+                                                         kSecret}));
+  const auto o = top.output("o", 8,
+                            LabelTerm::dependent(way, {Label::publicTrusted(),
+                                                       kSecret}));
+  const auto r = instantiate(top, child, "p",
+                             {{"sel", top.read(way)}, {"d", top.read(data)}});
+  top.assign(o, top.read(r.ports.at("q")));
+  EXPECT_TRUE(ifc::check(top).ok()) << ifc::check(top).toString();
+}
+
+TEST(Instantiate, ErrorsOnBadBindings) {
+  Module top{"top"};
+  const auto a = top.input("a", 8, kPT);
+  const auto adder = makeAdder();
+  EXPECT_THROW(instantiate(top, adder, "a1", {{"x", top.read(a)}}),
+               std::logic_error);  // unbound y
+  EXPECT_THROW(
+      instantiate(top, adder, "a2",
+                  {{"x", top.read(a)}, {"y", top.c(4, 0)}}),
+      std::logic_error);  // width mismatch
+  EXPECT_THROW(
+      instantiate(top, adder, "a3",
+                  {{"x", top.read(a)}, {"y", top.read(a)}, {"sum", top.read(a)}}),
+      std::logic_error);  // binding a non-input
+}
+
+// --- Textual instances --------------------------------------------------------------
+
+TEST(ParserInstances, HierarchicalSourceParsesAndRuns) {
+  const auto top = parseModule(R"(
+    module halfadd {
+      input a : 1 label (PUB, TRU);
+      input b : 1 label (PUB, TRU);
+      output s : 1 label (PUB, TRU);
+      output c : 1 label (PUB, TRU);
+      assign s = a ^ b;
+      assign c = a & b;
+    }
+    module fulladd {
+      input x : 1 label (PUB, TRU);
+      input y : 1 label (PUB, TRU);
+      input cin : 1 label (PUB, TRU);
+      output sum : 1 label (PUB, TRU);
+      output cout : 1 label (PUB, TRU);
+      inst h1 = halfadd(a: x, b: y);
+      inst h2 = halfadd(a: h1__s, b: cin);
+      assign sum = h2__s;
+      assign cout = h1__c | h2__c;
+    }
+  )");
+  EXPECT_EQ(top.name(), "fulladd");
+  EXPECT_TRUE(ifc::check(top).ok());
+
+  sim::Simulator s{top};
+  for (unsigned v = 0; v < 8; ++v) {
+    s.poke("x", BitVec(1, v & 1));
+    s.poke("y", BitVec(1, (v >> 1) & 1));
+    s.poke("cin", BitVec(1, (v >> 2) & 1));
+    s.evalComb();
+    const unsigned total = (v & 1) + ((v >> 1) & 1) + ((v >> 2) & 1);
+    EXPECT_EQ(s.peek("sum").toU64(), total & 1u) << v;
+    EXPECT_EQ(s.peek("cout").toU64(), (total >> 1) & 1u) << v;
+  }
+}
+
+TEST(ParserInstances, UnknownModuleReported) {
+  EXPECT_THROW(parseModule(R"(
+    module top {
+      input a : 1 label (PUB, TRU);
+      inst x = nosuch(a: a);
+    }
+  )"),
+               ParseError);
+}
+
+TEST(ParserInstances, LibraryReturnsAllModules) {
+  const auto lib = parseLibrary(R"(
+    module m1 { input a : 1 label (PUB, TRU); output o : 1 label (PUB, TRU);
+                assign o = a; }
+    module m2 { input b : 1 label (PUB, TRU); output o : 1 label (PUB, TRU);
+                assign o = ~b; }
+  )");
+  ASSERT_EQ(lib.size(), 2u);
+  EXPECT_EQ(lib[0].name(), "m1");
+  EXPECT_EQ(lib[1].name(), "m2");
+}
+
+}  // namespace
+}  // namespace aesifc::hdl

@@ -1,0 +1,163 @@
+#include "aes/gcm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace aesifc::aes {
+namespace {
+
+std::vector<std::uint8_t> hexBytes(const std::string& hex) {
+  std::vector<std::uint8_t> v(hex.size() / 2);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<std::uint8_t>(
+        std::stoul(hex.substr(2 * i, 2), nullptr, 16));
+  }
+  return v;
+}
+
+Tag128 tagOf(const std::string& hex) {
+  Tag128 t{};
+  const auto b = hexBytes(hex);
+  std::copy(b.begin(), b.end(), t.begin());
+  return t;
+}
+
+// --- GF(2^128) ------------------------------------------------------------------
+
+TEST(Gf128, MultiplicationByZeroAndCommutes) {
+  Rng rng{1};
+  const Tag128 zero{};
+  for (int i = 0; i < 20; ++i) {
+    Tag128 a{}, b{};
+    for (auto& x : a) x = static_cast<std::uint8_t>(rng.next());
+    for (auto& x : b) x = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(gf128Mul(a, zero), zero);
+    EXPECT_EQ(gf128Mul(zero, a), zero);
+    EXPECT_EQ(gf128Mul(a, b), gf128Mul(b, a));
+  }
+}
+
+TEST(Gf128, DistributesOverXor) {
+  Rng rng{2};
+  for (int i = 0; i < 20; ++i) {
+    Tag128 a{}, b{}, c{};
+    for (auto& x : a) x = static_cast<std::uint8_t>(rng.next());
+    for (auto& x : b) x = static_cast<std::uint8_t>(rng.next());
+    for (auto& x : c) x = static_cast<std::uint8_t>(rng.next());
+    Tag128 bc{};
+    for (unsigned k = 0; k < 16; ++k) bc[k] = b[k] ^ c[k];
+    const Tag128 left = gf128Mul(a, bc);
+    const Tag128 ab = gf128Mul(a, b);
+    const Tag128 ac = gf128Mul(a, c);
+    Tag128 right{};
+    for (unsigned k = 0; k < 16; ++k) right[k] = ab[k] ^ ac[k];
+    EXPECT_EQ(left, right);
+  }
+}
+
+TEST(Gf128, IdentityElement) {
+  // The multiplicative identity is the block 1 || 0^127 (leftmost bit set).
+  Tag128 one{};
+  one[0] = 0x80;
+  Rng rng{3};
+  for (int i = 0; i < 20; ++i) {
+    Tag128 a{};
+    for (auto& x : a) x = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(gf128Mul(a, one), a);
+    EXPECT_EQ(gf128Mul(one, a), a);
+  }
+}
+
+// --- NIST GCM test cases -----------------------------------------------------------
+
+TEST(Gcm, NistCase1EmptyPlaintext) {
+  // AES-128, key = 0^128, IV = 0^96, empty plaintext and AAD.
+  const auto key = expandKey(std::vector<std::uint8_t>(16, 0), KeySize::Aes128);
+  std::array<std::uint8_t, 12> iv{};
+  const auto r = gcmEncrypt({}, {}, key, iv);
+  EXPECT_TRUE(r.ciphertext.empty());
+  EXPECT_EQ(r.tag, tagOf("58e2fccefa7e3061367f1d57a4e7455a"));
+}
+
+TEST(Gcm, NistCase2OneZeroBlock) {
+  const auto key = expandKey(std::vector<std::uint8_t>(16, 0), KeySize::Aes128);
+  std::array<std::uint8_t, 12> iv{};
+  const auto r = gcmEncrypt(std::vector<std::uint8_t>(16, 0), {}, key, iv);
+  EXPECT_EQ(r.ciphertext, hexBytes("0388dace60b6a392f328c2b971b2fe78"));
+  EXPECT_EQ(r.tag, tagOf("ab6e47d42cec13bdf53a67b21257bddf"));
+}
+
+// --- Round trips & tamper detection ------------------------------------------------
+
+class GcmRoundTripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GcmRoundTripTest, DecryptInvertsEncrypt) {
+  Rng rng{GetParam() + 10};
+  std::vector<std::uint8_t> kb(16);
+  for (auto& b : kb) b = static_cast<std::uint8_t>(rng.next());
+  const auto key = expandKey(kb, KeySize::Aes128);
+  std::array<std::uint8_t, 12> iv{};
+  for (auto& b : iv) b = static_cast<std::uint8_t>(rng.next());
+
+  std::vector<std::uint8_t> pt(GetParam());
+  for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+  std::vector<std::uint8_t> aad(7);
+  for (auto& b : aad) b = static_cast<std::uint8_t>(rng.next());
+
+  const auto enc = gcmEncrypt(pt, aad, key, iv);
+  const auto dec = gcmDecrypt(enc.ciphertext, aad, enc.tag, key, iv);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, pt);
+}
+
+TEST_P(GcmRoundTripTest, TamperedCiphertextRejected) {
+  Rng rng{GetParam() + 20};
+  std::vector<std::uint8_t> kb(16);
+  for (auto& b : kb) b = static_cast<std::uint8_t>(rng.next());
+  const auto key = expandKey(kb, KeySize::Aes128);
+  std::array<std::uint8_t, 12> iv{};
+
+  std::vector<std::uint8_t> pt(GetParam() == 0 ? 16 : GetParam());
+  for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+  auto enc = gcmEncrypt(pt, {}, key, iv);
+  enc.ciphertext[0] ^= 1;
+  EXPECT_FALSE(gcmDecrypt(enc.ciphertext, {}, enc.tag, key, iv).has_value());
+}
+
+TEST_P(GcmRoundTripTest, TamperedAadRejected) {
+  Rng rng{GetParam() + 30};
+  std::vector<std::uint8_t> kb(16);
+  for (auto& b : kb) b = static_cast<std::uint8_t>(rng.next());
+  const auto key = expandKey(kb, KeySize::Aes128);
+  std::array<std::uint8_t, 12> iv{};
+
+  std::vector<std::uint8_t> pt(GetParam());
+  std::vector<std::uint8_t> aad{1, 2, 3};
+  const auto enc = gcmEncrypt(pt, aad, key, iv);
+  aad[0] ^= 1;
+  EXPECT_FALSE(gcmDecrypt(enc.ciphertext, aad, enc.tag, key, iv).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GcmRoundTripTest,
+                         ::testing::Values(0u, 1u, 15u, 16u, 17u, 64u, 100u));
+
+TEST(Gcm, TamperedTagRejected) {
+  const auto key = expandKey(std::vector<std::uint8_t>(16, 7), KeySize::Aes128);
+  std::array<std::uint8_t, 12> iv{};
+  auto enc = gcmEncrypt(std::vector<std::uint8_t>(32, 9), {}, key, iv);
+  enc.tag[15] ^= 0x80;
+  EXPECT_FALSE(gcmDecrypt(enc.ciphertext, {}, enc.tag, key, iv).has_value());
+}
+
+TEST(Gcm, DifferentIvsGiveDifferentCiphertexts) {
+  const auto key = expandKey(std::vector<std::uint8_t>(16, 7), KeySize::Aes128);
+  std::array<std::uint8_t, 12> iv1{}, iv2{};
+  iv2[0] = 1;
+  const std::vector<std::uint8_t> pt(16, 0x42);
+  EXPECT_NE(gcmEncrypt(pt, {}, key, iv1).ciphertext,
+            gcmEncrypt(pt, {}, key, iv2).ciphertext);
+}
+
+}  // namespace
+}  // namespace aesifc::aes

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "hdl/eval.h"
+#include "hdl/ir.h"
+
+namespace aesifc::hdl {
+namespace {
+
+using lattice::Label;
+
+const LabelTerm kPT = LabelTerm::of(Label::publicTrusted());
+
+TEST(ModuleBuild, SignalsAndLookup) {
+  Module m{"t"};
+  const auto a = m.input("a", 8, kPT);
+  const auto w = m.wire("w", 8);
+  m.assign(w, m.read(a));
+  EXPECT_EQ(m.signal(a).name, "a");
+  EXPECT_EQ(m.findSignal("w"), w);
+  EXPECT_FALSE(m.findSignal("nope").valid());
+}
+
+TEST(ModuleValidate, RejectsUndrivenWire) {
+  Module m{"t"};
+  m.wire("w", 8);
+  EXPECT_THROW(m.validate(), std::logic_error);
+}
+
+TEST(ModuleValidate, RejectsDoubleDrive) {
+  Module m{"t"};
+  const auto a = m.input("a", 8, kPT);
+  const auto w = m.wire("w", 8);
+  m.assign(w, m.read(a));
+  m.assign(w, m.read(a));
+  EXPECT_THROW(m.validate(), std::logic_error);
+}
+
+TEST(ModuleValidate, RejectsAssignToReg) {
+  Module m{"t"};
+  const auto a = m.input("a", 8, kPT);
+  const auto r = m.reg("r", 8, kPT);
+  m.assign(r, m.read(a));
+  EXPECT_THROW(m.validate(), std::logic_error);
+}
+
+TEST(ModuleValidate, RejectsWideDependentSelector) {
+  Module m{"t"};
+  const auto sel = m.input("sel", 8, kPT);  // too wide to enumerate
+  std::vector<Label> table(256, Label::publicTrusted());
+  const auto d = m.input("d", 8, LabelTerm::dependent(sel, table));
+  const auto o = m.output("o", 8, kPT);
+  m.assign(o, m.read(d));
+  EXPECT_THROW(m.validate(), std::logic_error);
+}
+
+TEST(ModuleValidate, RejectsDependentTableSizeMismatch) {
+  Module m{"t"};
+  const auto sel = m.input("sel", 2, kPT);
+  const auto d =
+      m.input("d", 8, LabelTerm::dependent(sel, {Label::publicTrusted()}));
+  const auto o = m.output("o", 8, kPT);
+  m.assign(o, m.read(d));
+  EXPECT_THROW(m.validate(), std::logic_error);
+}
+
+TEST(ModuleValidate, AcceptsMultipleRegWrites) {
+  Module m{"t"};
+  const auto a = m.input("a", 8, kPT);
+  const auto en1 = m.input("en1", 1, kPT);
+  const auto en2 = m.input("en2", 1, kPT);
+  const auto r = m.reg("r", 8, kPT);
+  m.regWrite(r, m.read(a), m.read(en1));
+  m.regWrite(r, m.bnot(m.read(a)), m.read(en2));
+  EXPECT_NO_THROW(m.validate());
+}
+
+// --- Expression evaluation -------------------------------------------------------
+
+struct EvalFixture : ::testing::Test {
+  Module m{"eval"};
+  std::vector<BitVec> values;
+
+  BitVec run(ExprId e) {
+    return evalExpr(m, e, [&](SignalId s) -> const BitVec& {
+      return values[s.v];
+    });
+  }
+};
+
+TEST_F(EvalFixture, Arithmetic) {
+  const auto a = m.input("a", 8, kPT);
+  const auto b = m.input("b", 8, kPT);
+  values = {BitVec(8, 200), BitVec(8, 100)};
+  EXPECT_EQ(run(m.add(m.read(a), m.read(b))).toU64(), 44u);  // mod 256
+  EXPECT_EQ(run(m.sub(m.read(a), m.read(b))).toU64(), 100u);
+  EXPECT_EQ(run(m.ult(m.read(b), m.read(a))).toU64(), 1u);
+  EXPECT_EQ(run(m.eq(m.read(a), m.read(b))).toU64(), 0u);
+  EXPECT_EQ(run(m.ne(m.read(a), m.read(b))).toU64(), 1u);
+}
+
+TEST_F(EvalFixture, MuxConcatSlice) {
+  const auto c = m.input("c", 1, kPT);
+  const auto a = m.input("a", 4, kPT);
+  const auto b = m.input("b", 4, kPT);
+  values = {BitVec(1, 1), BitVec(4, 0xa), BitVec(4, 0x5)};
+  EXPECT_EQ(run(m.mux(m.read(c), m.read(a), m.read(b))).toU64(), 0xau);
+  const auto cat = m.concat(m.read(a), m.read(b));
+  EXPECT_EQ(run(cat).toU64(), 0xa5u);
+  EXPECT_EQ(run(m.slice(cat, 4, 4)).toU64(), 0xau);
+}
+
+TEST_F(EvalFixture, LutAndReductions) {
+  const auto i = m.input("i", 2, kPT);
+  values = {BitVec(2, 2)};
+  std::vector<BitVec> table{BitVec(8, 10), BitVec(8, 20), BitVec(8, 30),
+                            BitVec(8, 40)};
+  EXPECT_EQ(run(m.lut(m.read(i), table)).toU64(), 30u);
+  EXPECT_EQ(run(m.redOr(m.read(i))).toU64(), 1u);
+  EXPECT_EQ(run(m.redAnd(m.read(i))).toU64(), 0u);
+}
+
+// --- Partial evaluation ------------------------------------------------------------
+
+TEST(PartialEval, PinnedSignalsFold) {
+  Module m{"pe"};
+  const auto sel = m.input("sel", 2, kPT);
+  const auto x = m.input("x", 8, kPT);
+  const auto e = m.mux(m.eq(m.read(sel), m.c(2, 1)), m.c(8, 42), m.read(x));
+  std::map<std::uint32_t, BitVec> pinned{{sel.v, BitVec(2, 1)}};
+  const auto v = partialEval(m, e, pinned);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->toU64(), 42u);
+  // Unpinned branch taken -> unknown.
+  pinned[sel.v] = BitVec(2, 0);
+  EXPECT_FALSE(partialEval(m, e, pinned).has_value());
+}
+
+TEST(PartialEval, AndShortCircuitsOnZero) {
+  Module m{"pe"};
+  const auto sel = m.input("sel", 1, kPT);
+  const auto unknown = m.input("u", 1, kPT);
+  const auto e = m.band(m.read(unknown), m.eq(m.read(sel), m.c(1, 1)));
+  std::map<std::uint32_t, BitVec> pinned{{sel.v, BitVec(1, 0)}};
+  const auto v = partialEval(m, e, pinned);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->isZero());
+  // With sel = 1 the And needs the unknown operand.
+  pinned[sel.v] = BitVec(1, 1);
+  EXPECT_FALSE(partialEval(m, e, pinned).has_value());
+}
+
+TEST(PartialEval, OrShortCircuitsOnOnes) {
+  Module m{"pe"};
+  const auto sel = m.input("sel", 1, kPT);
+  const auto unknown = m.input("u", 1, kPT);
+  const auto e = m.bor(m.read(unknown), m.read(sel));
+  std::map<std::uint32_t, BitVec> pinned{{sel.v, BitVec(1, 1)}};
+  const auto v = partialEval(m, e, pinned);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->toU64(), 1u);
+}
+
+TEST(PartialEval, ChasesWires) {
+  Module m{"pe"};
+  const auto sel = m.input("sel", 2, kPT);
+  const auto w = m.wire("w", 1);
+  m.assign(w, m.eq(m.read(sel), m.c(2, 3)));
+  const auto e = m.mux(m.read(w), m.c(4, 1), m.c(4, 2));
+  std::map<std::uint32_t, BitVec> pinned{{sel.v, BitVec(2, 3)}};
+  const auto v = partialEval(m, e, pinned);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->toU64(), 1u);
+}
+
+TEST(LeafDeps, ReportsInputsAndRegsThroughWires) {
+  Module m{"deps"};
+  const auto a = m.input("a", 4, kPT);
+  const auto r = m.reg("r", 4, kPT);
+  const auto w = m.wire("w", 4);
+  m.assign(w, m.bxor(m.read(a), m.read(r)));
+  const auto e = m.add(m.read(w), m.c(4, 1));
+  const auto deps = leafDeps(m, e);
+  EXPECT_EQ(deps.size(), 2u);
+}
+
+TEST(Schedule, OrdersDependentAssigns) {
+  Module m{"sched"};
+  const auto a = m.input("a", 4, kPT);
+  const auto w1 = m.wire("w1", 4);
+  const auto w2 = m.wire("w2", 4);
+  // Deliberately created in reverse dependency order.
+  m.assign(w2, m.add(m.read(w1), m.c(4, 1)));
+  m.assign(w1, m.add(m.read(a), m.c(4, 1)));
+  const auto sched = scheduleCombinational(m);
+  ASSERT_EQ(sched.order.size(), 2u);
+  // w1's assign (index 1) must run before w2's (index 0).
+  EXPECT_EQ(sched.order[0].index, 1u);
+  EXPECT_EQ(sched.order[1].index, 0u);
+}
+
+TEST(Schedule, DetectsCombinationalCycle) {
+  Module m{"cycle"};
+  const auto w1 = m.wire("w1", 1);
+  const auto w2 = m.wire("w2", 1);
+  m.assign(w1, m.bnot(m.read(w2)));
+  m.assign(w2, m.bnot(m.read(w1)));
+  EXPECT_THROW(scheduleCombinational(m), std::logic_error);
+}
+
+TEST(Dump, MentionsSignalsAndLabels) {
+  Module m{"dumpy"};
+  const auto sel = m.input("sel", 1, kPT);
+  m.input("x", 8,
+          LabelTerm::dependent(sel, {Label::publicTrusted(),
+                                     Label::publicUntrusted()}));
+  const auto o = m.output("o", 1, kPT);
+  m.assign(o, m.read(sel));
+  const auto text = m.dump();
+  EXPECT_NE(text.find("module dumpy"), std::string::npos);
+  EXPECT_NE(text.find("DL(sel)"), std::string::npos);
+  EXPECT_NE(text.find("(PUB,TRU)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aesifc::hdl

@@ -1,0 +1,160 @@
+#include "soc/key_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "aes/cipher.h"
+#include "common/rng.h"
+
+namespace aesifc::soc {
+namespace {
+
+using accel::AcceleratorConfig;
+using accel::AesAccelerator;
+using accel::BlockRequest;
+using lattice::Principal;
+
+struct KmFixture : ::testing::Test {
+  AesAccelerator acc{AcceleratorConfig{}};
+  unsigned sup = acc.addUser(Principal::supervisor());
+  unsigned alice = acc.addUser(Principal::user("alice", 1));
+  unsigned bob = acc.addUser(Principal::user("bob", 2));
+  KeyManager km{acc};
+
+  accel::BlockResponse crypt(unsigned user, unsigned slot,
+                             const aes::Block& data) {
+    static std::uint64_t id = 90000;
+    BlockRequest req{++id, user, slot, false, data};
+    EXPECT_TRUE(acc.submit(req));
+    for (unsigned i = 0; i < 200; ++i) {
+      acc.tick();
+      if (auto out = acc.fetchOutput(user)) return *out;
+    }
+    ADD_FAILURE() << "no response";
+    return {};
+  }
+};
+
+TEST_F(KmFixture, OpenSessionInstallsWorkingKey) {
+  const auto s = km.openSession(alice);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->generation, 1u);
+  aes::Block pt{};
+  const auto resp = crypt(alice, s->slot, pt);
+  EXPECT_EQ(resp.data,
+            aes::encryptBlock(pt, s->key.data(), aes::KeySize::Aes128));
+}
+
+TEST_F(KmFixture, SessionsGetDisjointResources) {
+  const auto sa = km.openSession(alice);
+  const auto sb = km.openSession(bob);
+  ASSERT_TRUE(sa && sb);
+  EXPECT_NE(sa->slot, sb->slot);
+  EXPECT_NE(sa->cell_base, sb->cell_base);
+  EXPECT_NE(sa->key, sb->key);
+  // Slot 0 stays reserved for the master key.
+  EXPECT_NE(sa->slot, 0u);
+  EXPECT_NE(sb->slot, 0u);
+  // One session per user.
+  EXPECT_FALSE(km.openSession(alice).has_value());
+}
+
+TEST_F(KmFixture, ResourceExhaustionReported) {
+  // 8 cells / 2 per session = 4 sessions; one slot is reserved, leaving
+  // enough slots, so cells are the limiting resource.
+  std::vector<unsigned> extra_users;
+  unsigned opened = 0;
+  for (unsigned i = 0; i < 6; ++i) {
+    const unsigned u = acc.addUser(Principal::user("t" + std::to_string(i),
+                                                   (i % 13) + 3));
+    if (km.openSession(u).has_value()) ++opened;
+  }
+  EXPECT_EQ(opened, 4u);
+}
+
+TEST_F(KmFixture, RotationChangesKeyAndGeneration) {
+  const auto s1 = *km.openSession(alice);
+  ASSERT_TRUE(km.rotate(alice));
+  const auto* s2 = km.session(alice);
+  ASSERT_NE(s2, nullptr);
+  EXPECT_EQ(s2->generation, 2u);
+  EXPECT_NE(s2->key, s1.key);
+  EXPECT_EQ(s2->slot, s1.slot);  // same hardware slot, new key
+
+  aes::Block pt{};
+  const auto resp = crypt(alice, s2->slot, pt);
+  EXPECT_EQ(resp.data,
+            aes::encryptBlock(pt, s2->key.data(), aes::KeySize::Aes128));
+}
+
+TEST_F(KmFixture, RotationWaitsForInFlightBlocks) {
+  const auto s = *km.openSession(alice);
+  // Put a block in flight, then rotate: the old block must complete under
+  // the OLD key (the manager drains before touching the slot).
+  BlockRequest req{777, alice, s.slot, false, {}};
+  ASSERT_TRUE(acc.submit(req));
+  acc.tick();  // in stage 0 now
+  ASSERT_TRUE(acc.keySlotBusy(s.slot));
+  ASSERT_TRUE(km.rotate(alice));
+  EXPECT_FALSE(acc.keySlotBusy(s.slot));
+
+  // Collect the pre-rotation block.
+  accel::BlockResponse old_resp;
+  bool got = false;
+  for (unsigned i = 0; i < 100 && !got; ++i) {
+    if (auto out = acc.fetchOutput(alice)) {
+      old_resp = *out;
+      got = true;
+      break;
+    }
+    acc.tick();
+  }
+  ASSERT_TRUE(got);
+  aes::Block pt{};
+  EXPECT_EQ(old_resp.data,
+            aes::encryptBlock(pt, s.key.data(), aes::KeySize::Aes128));
+
+  // New traffic uses the rotated key.
+  const auto* s2 = km.session(alice);
+  const auto new_resp = crypt(alice, s2->slot, pt);
+  EXPECT_EQ(new_resp.data,
+            aes::encryptBlock(pt, s2->key.data(), aes::KeySize::Aes128));
+}
+
+TEST_F(KmFixture, CloseSessionZeroizesAndFrees) {
+  const auto s = *km.openSession(alice);
+  ASSERT_TRUE(km.closeSession(alice));
+  EXPECT_EQ(km.session(alice), nullptr);
+  EXPECT_FALSE(acc.roundKeys().valid(s.slot));
+  EXPECT_EQ(acc.scratchpad().rawCell(s.cell_base), 0u);
+  // Resources are reusable.
+  const auto s2 = km.openSession(bob);
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(s2->slot, s.slot);
+}
+
+TEST_F(KmFixture, RotateUnknownUserFails) {
+  EXPECT_FALSE(km.rotate(alice));
+  EXPECT_FALSE(km.closeSession(alice));
+}
+
+TEST_F(KmFixture, ContinuousTrafficAcrossRotations) {
+  const auto s0 = *km.openSession(alice);
+  Rng rng{5};
+  unsigned slot = s0.slot;
+  for (unsigned round = 0; round < 5; ++round) {
+    const auto* s = km.session(alice);
+    for (unsigned i = 0; i < 4; ++i) {
+      aes::Block pt{};
+      for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+      const auto resp = crypt(alice, slot, pt);
+      EXPECT_EQ(resp.data,
+                aes::encryptBlock(pt, s->key.data(), aes::KeySize::Aes128))
+          << "round " << round;
+    }
+    ASSERT_TRUE(km.rotate(alice)) << "round " << round;
+  }
+  EXPECT_EQ(km.session(alice)->generation, 6u);
+}
+
+}  // namespace
+}  // namespace aesifc::soc

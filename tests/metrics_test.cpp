@@ -1,0 +1,108 @@
+#include "soc/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace aesifc::soc {
+namespace {
+
+TEST(MutualInformation, PerfectlyCorrelatedIsOneBit) {
+  std::vector<int> x, y;
+  Rng rng{1};
+  for (int i = 0; i < 1000; ++i) {
+    const int b = rng.chance(0.5) ? 1 : 0;
+    x.push_back(b);
+    y.push_back(b);
+  }
+  EXPECT_NEAR(mutualInformationBits(x, y), 1.0, 0.05);
+}
+
+TEST(MutualInformation, InvertedChannelStillCarriesOneBit) {
+  std::vector<int> x, y;
+  Rng rng{2};
+  for (int i = 0; i < 1000; ++i) {
+    const int b = rng.chance(0.5) ? 1 : 0;
+    x.push_back(b);
+    y.push_back(1 - b);
+  }
+  EXPECT_NEAR(mutualInformationBits(x, y), 1.0, 0.05);
+}
+
+TEST(MutualInformation, IndependentIsNearZero) {
+  std::vector<int> x, y;
+  Rng rng{3};
+  for (int i = 0; i < 4000; ++i) {
+    x.push_back(rng.chance(0.5) ? 1 : 0);
+    y.push_back(rng.chance(0.5) ? 1 : 0);
+  }
+  EXPECT_LT(mutualInformationBits(x, y), 0.01);
+}
+
+TEST(MutualInformation, ConstantSideIsZero) {
+  std::vector<int> x(100, 1), y;
+  Rng rng{4};
+  for (int i = 0; i < 100; ++i) y.push_back(rng.chance(0.5) ? 1 : 0);
+  EXPECT_EQ(mutualInformationBits(x, y), 0.0);
+}
+
+TEST(MutualInformation, NoisyChannelIsBetweenZeroAndOne) {
+  std::vector<int> x, y;
+  Rng rng{5};
+  for (int i = 0; i < 5000; ++i) {
+    const int b = rng.chance(0.5) ? 1 : 0;
+    x.push_back(b);
+    y.push_back(rng.chance(0.9) ? b : 1 - b);  // 10% bit flips
+  }
+  const double mi = mutualInformationBits(x, y);
+  // Binary symmetric channel with p=0.1: capacity = 1 - H(0.1) ~ 0.531.
+  EXPECT_NEAR(mi, 0.531, 0.08);
+}
+
+TEST(MutualInformation, EmptyIsZero) {
+  EXPECT_EQ(mutualInformationBits({}, {}), 0.0);
+}
+
+TEST(Pearson, PerfectPositiveAndNegative) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-9);
+  std::vector<double> z{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-9);
+}
+
+TEST(Pearson, ConstantSideIsZero) {
+  std::vector<double> x{1, 1, 1, 1};
+  std::vector<double> y{1, 2, 3, 4};
+  EXPECT_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Pearson, IndependentNearZero) {
+  Rng rng{6};
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(static_cast<double>(rng.next() % 1000));
+    y.push_back(static_cast<double>(rng.next() % 1000));
+  }
+  EXPECT_LT(std::abs(pearson(x, y)), 0.05);
+}
+
+TEST(LatencyStats, ComputesMoments) {
+  const auto s = latencyStats({10, 20, 30});
+  EXPECT_DOUBLE_EQ(s.mean, 20.0);
+  EXPECT_EQ(s.min, 10u);
+  EXPECT_EQ(s.max, 30u);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.stddev, std::sqrt(200.0 / 3.0), 1e-9);
+}
+
+TEST(LatencyStats, EmptyIsZeroed) {
+  const auto s = latencyStats({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace aesifc::soc

@@ -1,0 +1,128 @@
+#include "aes/modes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace aesifc::aes {
+namespace {
+
+std::vector<std::uint8_t> hexBytes(const std::string& hex) {
+  std::vector<std::uint8_t> v(hex.size() / 2);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<std::uint8_t>(
+        std::stoul(hex.substr(2 * i, 2), nullptr, 16));
+  }
+  return v;
+}
+
+ExpandedKey nistKey() {
+  return expandKey(hexBytes("2b7e151628aed2a6abf7158809cf4f3c"),
+                   KeySize::Aes128);
+}
+
+// The four-block NIST SP 800-38A test message.
+Bytes nistPlain() {
+  return hexBytes(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+}
+
+TEST(Ecb, NistSp80038aVectors) {
+  const Bytes want = hexBytes(
+      "3ad77bb40d7a3660a89ecaf32466ef97"
+      "f5d3d58503b9699de785895a96fdbaaf"
+      "43b1cd7f598ece23881b00e3ed030688"
+      "7b0c785e27e8ad3f8223207104725dd4");
+  EXPECT_EQ(ecbEncrypt(nistPlain(), nistKey()), want);
+  EXPECT_EQ(ecbDecrypt(want, nistKey()), nistPlain());
+}
+
+TEST(Cbc, NistSp80038aVectors) {
+  Iv iv{};
+  const auto ivb = hexBytes("000102030405060708090a0b0c0d0e0f");
+  std::copy(ivb.begin(), ivb.end(), iv.begin());
+  const Bytes want = hexBytes(
+      "7649abac8119b246cee98e9b12e9197d"
+      "5086cb9b507219ee95db113a917678b2"
+      "73bed6b8e3c1743b7116e69e22229516"
+      "3ff1caa1681fac09120eca307586e1a7");
+  EXPECT_EQ(cbcEncrypt(nistPlain(), nistKey(), iv), want);
+  EXPECT_EQ(cbcDecrypt(want, nistKey(), iv), nistPlain());
+}
+
+TEST(Ctr, NistSp80038aVectors) {
+  Iv nonce{};
+  const auto nb = hexBytes("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  std::copy(nb.begin(), nb.end(), nonce.begin());
+  const Bytes want = hexBytes(
+      "874d6191b620e3261bef6864990db6ce"
+      "9806f66b7970fdff8617187bb9fffdff"
+      "5ae4df3edbd5d35e5b4f09020db03eab"
+      "1e031dda2fbe03d1792170a0f3009cee");
+  EXPECT_EQ(ctrCrypt(nistPlain(), nistKey(), nonce), want);
+  // CTR is its own inverse.
+  EXPECT_EQ(ctrCrypt(want, nistKey(), nonce), nistPlain());
+}
+
+TEST(Ctr, HandlesPartialFinalBlock) {
+  Rng rng{4};
+  Iv nonce{};
+  Bytes msg(37);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+  const Bytes ct = ctrCrypt(msg, nistKey(), nonce);
+  EXPECT_EQ(ct.size(), msg.size());
+  EXPECT_EQ(ctrCrypt(ct, nistKey(), nonce), msg);
+}
+
+TEST(Cbc, RoundTripRandom) {
+  Rng rng{5};
+  Iv iv{};
+  for (auto& b : iv) b = static_cast<std::uint8_t>(rng.next());
+  for (unsigned blocks = 1; blocks <= 8; ++blocks) {
+    Bytes msg(16 * blocks);
+    for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(cbcDecrypt(cbcEncrypt(msg, nistKey(), iv), nistKey(), iv), msg);
+  }
+}
+
+TEST(Cbc, TamperedBlockCorruptsTwoBlocks) {
+  Rng rng{6};
+  Iv iv{};
+  Bytes msg(64);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+  Bytes ct = cbcEncrypt(msg, nistKey(), iv);
+  ct[16] ^= 0x01;  // flip a bit in block 1
+  const Bytes out = cbcDecrypt(ct, nistKey(), iv);
+  // Block 0 unaffected, blocks 1 and 2 differ, block 3 unaffected.
+  EXPECT_TRUE(std::equal(out.begin(), out.begin() + 16, msg.begin()));
+  EXPECT_FALSE(std::equal(out.begin() + 16, out.begin() + 32, msg.begin() + 16));
+  EXPECT_FALSE(std::equal(out.begin() + 32, out.begin() + 48, msg.begin() + 32));
+  EXPECT_TRUE(std::equal(out.begin() + 48, out.end(), msg.begin() + 48));
+}
+
+TEST(Pkcs7, PadUnpadRoundTrip) {
+  for (unsigned n = 0; n <= 33; ++n) {
+    Bytes msg(n, 0x7a);
+    const Bytes padded = pkcs7Pad(msg);
+    EXPECT_EQ(padded.size() % 16, 0u);
+    EXPECT_GT(padded.size(), msg.size());
+    EXPECT_EQ(pkcs7Unpad(padded), msg);
+  }
+}
+
+TEST(Pkcs7, RejectsMalformedPadding) {
+  EXPECT_TRUE(pkcs7Unpad({}).empty());
+  Bytes bad(16, 0x00);  // pad byte 0 is invalid
+  EXPECT_TRUE(pkcs7Unpad(bad).empty());
+  Bytes bad2(16, 0x02);
+  bad2[14] = 0x03;  // inconsistent pad bytes
+  EXPECT_TRUE(pkcs7Unpad(bad2).empty());
+  Bytes bad3(8, 0x01);  // not a multiple of the block size
+  EXPECT_TRUE(pkcs7Unpad(bad3).empty());
+}
+
+}  // namespace
+}  // namespace aesifc::aes

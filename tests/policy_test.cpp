@@ -1,0 +1,71 @@
+#include "soc/policy_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "ifc/policy.h"
+
+namespace aesifc::soc {
+namespace {
+
+TEST(Table1, HasSixPolicies) {
+  const auto& ps = ifc::table1Policies();
+  ASSERT_EQ(ps.size(), 6u);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_EQ(ps[i].id, static_cast<int>(i) + 1);
+    EXPECT_FALSE(ps[i].requirement.empty());
+    EXPECT_FALSE(ps[i].restriction.empty());
+  }
+}
+
+TEST(Table1, AssetsMatchPaper) {
+  const auto& ps = ifc::table1Policies();
+  EXPECT_EQ(ps[0].asset, "Keys");
+  EXPECT_EQ(ps[1].asset, "Keys");
+  EXPECT_EQ(ps[2].asset, "Keys");
+  EXPECT_EQ(ps[3].asset, "Plaintext");
+  EXPECT_EQ(ps[4].asset, "Plaintext");
+  EXPECT_EQ(ps[5].asset, "Configs");
+}
+
+TEST(Table1, DimensionsMatchPaper) {
+  using ifc::PolicyDimension;
+  const auto& ps = ifc::table1Policies();
+  EXPECT_EQ(ps[0].dim, PolicyDimension::Confidentiality);
+  EXPECT_EQ(ps[1].dim, PolicyDimension::Integrity);
+  EXPECT_EQ(ps[2].dim, PolicyDimension::Confidentiality);
+  EXPECT_EQ(ps[3].dim, PolicyDimension::Confidentiality);
+  EXPECT_EQ(ps[4].dim, PolicyDimension::Integrity);
+  EXPECT_EQ(ps[5].dim, PolicyDimension::Integrity);
+}
+
+TEST(Table1, RendersAllRows) {
+  const auto text = ifc::renderTable1();
+  for (const auto& p : ifc::table1Policies()) {
+    EXPECT_NE(text.find(p.requirement), std::string::npos);
+  }
+}
+
+TEST(PolicyEngine, ProtectedHoldsAllSixRequirements) {
+  const auto verdicts = evaluatePolicies(accel::SecurityMode::Protected);
+  ASSERT_EQ(verdicts.size(), 6u);
+  for (const auto& v : verdicts) {
+    EXPECT_TRUE(v.holds) << "policy " << v.policy_id << ": " << v.evidence;
+  }
+}
+
+TEST(PolicyEngine, BaselineViolatesEveryRequirement) {
+  const auto verdicts = evaluatePolicies(accel::SecurityMode::Baseline);
+  ASSERT_EQ(verdicts.size(), 6u);
+  for (const auto& v : verdicts) {
+    EXPECT_FALSE(v.holds) << "policy " << v.policy_id << ": " << v.evidence;
+  }
+}
+
+TEST(PolicyEngine, MatrixRendersBothColumns) {
+  const auto text = renderPolicyMatrix();
+  EXPECT_NE(text.find("VIOLATED"), std::string::npos);
+  EXPECT_NE(text.find("holds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aesifc::soc

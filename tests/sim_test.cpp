@@ -1,0 +1,143 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace aesifc::sim {
+namespace {
+
+using hdl::LabelTerm;
+using hdl::Module;
+using lattice::Label;
+
+const LabelTerm kPT = LabelTerm::of(Label::publicTrusted());
+
+TEST(Simulator, CombinationalSettles) {
+  Module m{"comb"};
+  const auto a = m.input("a", 8, kPT);
+  const auto b = m.input("b", 8, kPT);
+  const auto w = m.wire("w", 8);
+  const auto o = m.output("o", 8, kPT);
+  m.assign(w, m.bxor(m.read(a), m.read(b)));
+  m.assign(o, m.add(m.read(w), m.c(8, 1)));
+
+  Simulator sim{m};
+  sim.poke("a", BitVec(8, 0xf0));
+  sim.poke("b", BitVec(8, 0x0f));
+  sim.evalComb();
+  EXPECT_EQ(sim.peek("o").toU64(), 0x00u);  // 0xff + 1 wraps
+}
+
+TEST(Simulator, CounterCounts) {
+  Module m{"ctr"};
+  const auto en = m.input("en", 1, kPT);
+  const auto ctr = m.reg("ctr", 8, kPT);
+  const auto o = m.output("o", 8, kPT);
+  m.regWrite(ctr, m.add(m.read(ctr), m.c(8, 1)), m.read(en));
+  m.assign(o, m.read(ctr));
+
+  Simulator sim{m};
+  sim.poke("en", BitVec(1, 1));
+  sim.step(5);
+  EXPECT_EQ(sim.peek("o").toU64(), 5u);
+  sim.poke("en", BitVec(1, 0));
+  sim.step(3);
+  EXPECT_EQ(sim.peek("o").toU64(), 5u);  // enable gates the update
+  EXPECT_EQ(sim.cycle(), 8u);
+}
+
+TEST(Simulator, ResetRestoresRegValues) {
+  Module m{"rst"};
+  const auto r = m.reg("r", 4, kPT, BitVec(4, 9));
+  const auto o = m.output("o", 4, kPT);
+  m.regWrite(r, m.add(m.read(r), m.c(4, 1)));
+  m.assign(o, m.read(r));
+
+  Simulator sim{m};
+  EXPECT_EQ(sim.peek("o").toU64(), 9u);
+  sim.step(2);
+  EXPECT_EQ(sim.peek("o").toU64(), 11u);
+  sim.reset();
+  EXPECT_EQ(sim.peek("o").toU64(), 9u);
+  EXPECT_EQ(sim.cycle(), 0u);
+}
+
+TEST(Simulator, RegisterReadsPreEdgeValue) {
+  // Two-stage shift register: both stages must update from pre-edge state.
+  Module m{"shift"};
+  const auto in = m.input("in", 8, kPT);
+  const auto s1 = m.reg("s1", 8, kPT);
+  const auto s2 = m.reg("s2", 8, kPT);
+  const auto o = m.output("o", 8, kPT);
+  m.regWrite(s1, m.read(in));
+  m.regWrite(s2, m.read(s1));
+  m.assign(o, m.read(s2));
+
+  Simulator sim{m};
+  sim.poke("in", BitVec(8, 0xaa));
+  sim.step();
+  sim.poke("in", BitVec(8, 0xbb));
+  sim.step();
+  EXPECT_EQ(sim.peek("o").toU64(), 0xaau);  // first value, two cycles later
+  sim.step();
+  EXPECT_EQ(sim.peek("o").toU64(), 0xbbu);
+}
+
+TEST(Simulator, LaterRegWriteWins) {
+  Module m{"prio"};
+  const auto r = m.reg("r", 4, kPT);
+  const auto o = m.output("o", 4, kPT);
+  m.regWrite(r, m.c(4, 1), m.c(1, 1));
+  m.regWrite(r, m.c(4, 2), m.c(1, 1));
+  m.assign(o, m.read(r));
+  Simulator sim{m};
+  sim.step();
+  EXPECT_EQ(sim.peek("o").toU64(), 2u);
+}
+
+TEST(Simulator, PokeRejectsNonInputs) {
+  Module m{"poke"};
+  const auto a = m.input("a", 1, kPT);
+  const auto o = m.output("o", 1, kPT);
+  m.assign(o, m.read(a));
+  Simulator sim{m};
+  EXPECT_THROW(sim.poke("o", BitVec(1, 0)), std::logic_error);
+  EXPECT_THROW(sim.poke("a", BitVec(2, 0)), std::logic_error);
+  EXPECT_THROW(sim.poke("missing", BitVec(1, 0)), std::logic_error);
+}
+
+TEST(Simulator, DowngradeDriverPassesValueThrough) {
+  Module m{"dg"};
+  const auto a = m.input("a", 8, LabelTerm::of(Label::topTop()));
+  const auto o = m.output("o", 8,
+                          LabelTerm::of(Label{lattice::Conf::bottom(),
+                                              lattice::Integ::top()}));
+  m.declassify(o, m.read(a), Label{lattice::Conf::bottom(), lattice::Integ::top()},
+               lattice::Principal::supervisor());
+  Simulator sim{m};
+  sim.poke("a", BitVec(8, 0x5a));
+  sim.evalComb();
+  EXPECT_EQ(sim.peek("o").toU64(), 0x5au);
+}
+
+TEST(Trace, RecordsAndRendersCsv) {
+  Module m{"tr"};
+  const auto ctr = m.reg("c", 4, kPT);
+  const auto o = m.output("o", 4, kPT);
+  m.regWrite(ctr, m.add(m.read(ctr), m.c(4, 1)));
+  m.assign(o, m.read(ctr));
+
+  Simulator sim{m};
+  Trace trace{sim, {o}};
+  for (int i = 0; i < 3; ++i) {
+    trace.sample();
+    sim.step();
+  }
+  EXPECT_EQ(trace.length(), 3u);
+  EXPECT_EQ(trace.at(2, 0).toU64(), 2u);
+  const auto csv = trace.toCsv(m);
+  EXPECT_NE(csv.find("o"), std::string::npos);
+  EXPECT_NE(csv.find("2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aesifc::sim

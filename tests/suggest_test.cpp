@@ -1,0 +1,127 @@
+#include "ifc/suggest.h"
+
+#include <gtest/gtest.h>
+
+#include "ifc/checker.h"
+#include "rtl/verif_models.h"
+
+namespace aesifc::ifc {
+namespace {
+
+using hdl::LabelTerm;
+using hdl::Module;
+using lattice::Conf;
+using lattice::Integ;
+using lattice::Label;
+
+const Label kPT = Label::publicTrusted();
+const Label kPU = Label::publicUntrusted();
+const Label kSecret{Conf::top(), Integ::top()};
+
+TEST(Suggest, StaticLabelForStaticFlow) {
+  Module m{"s"};
+  const auto a = m.input("a", 8, LabelTerm::of(kSecret));
+  const auto b = m.input("b", 8, LabelTerm::of(kPT));
+  const auto o = m.output("o", 8, LabelTerm::unconstrained());
+  m.assign(o, m.bxor(m.read(a), m.read(b)));
+
+  const auto suggestions = suggestOutputLabels(m);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].signal_name, "o");
+  ASSERT_EQ(suggestions[0].term.kind, LabelTerm::Kind::Static);
+  EXPECT_EQ(suggestions[0].term.fixed, kSecret);
+}
+
+TEST(Suggest, RecoversDependentLabelFromMux) {
+  // The Fig. 3 pattern with the output annotation erased: the suggester
+  // must rediscover DL(way).
+  Module m{"dep"};
+  const auto way = m.input("way", 1, LabelTerm::of(kPT));
+  const auto t0 = m.input("t0", 8, LabelTerm::of(kPT));
+  const auto t1 = m.input("t1", 8, LabelTerm::of(kPU));
+  const auto o = m.output("tag_o", 8, LabelTerm::unconstrained());
+  m.assign(o, m.mux(m.eq(m.read(way), m.c(1, 0)), m.read(t0), m.read(t1)));
+  // Something must reference a dependent label for `way` to be enumerated.
+  const auto d = m.input("d", 8, LabelTerm::dependent(way, {kPT, kPU}));
+  const auto o2 = m.output("o2", 8, LabelTerm::dependent(way, {kPT, kPU}));
+  m.assign(o2, m.read(d));
+
+  const auto suggestions = suggestOutputLabels(m);
+  ASSERT_EQ(suggestions.size(), 1u);
+  ASSERT_EQ(suggestions[0].term.kind, LabelTerm::Kind::Dependent);
+  EXPECT_EQ(suggestions[0].term.selector, way);
+  EXPECT_EQ(suggestions[0].term.by_value[0], kPT);
+  EXPECT_EQ(suggestions[0].term.by_value[1], kPU);
+  EXPECT_NE(suggestions[0].rendered.find("DL(way)"), std::string::npos);
+}
+
+TEST(Suggest, AppliedSuggestionsCheckClean) {
+  Module m{"apply"};
+  const auto sel = m.input("sel", 1, LabelTerm::of(kPT));
+  const auto d =
+      m.input("d", 8, LabelTerm::dependent(sel, {kPT, kSecret}));
+  const auto o = m.output("o", 8, LabelTerm::unconstrained());
+  m.assign(o, m.bnot(m.read(d)));
+
+  auto suggestions = suggestOutputLabels(m);
+  ASSERT_EQ(suggestions.size(), 1u);
+  applySuggestions(m, suggestions);
+  const auto report = check(m);
+  EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(Suggest, LeavesAnnotatedOutputsAlone) {
+  Module m{"keep"};
+  const auto a = m.input("a", 8, LabelTerm::of(kPT));
+  const auto o = m.output("o", 8, LabelTerm::of(kSecret));
+  m.assign(o, m.read(a));
+  EXPECT_TRUE(suggestOutputLabels(m).empty());
+}
+
+TEST(Suggest, DowngradeDrivenOutputGetsTargetLabel) {
+  Module m{"dg"};
+  const auto s = m.input("s", 8, LabelTerm::of(kSecret));
+  const auto o = m.output("o", 8, LabelTerm::unconstrained());
+  m.declassify(o, m.read(s), kPT, lattice::Principal::supervisor());
+  const auto suggestions = suggestOutputLabels(m);
+  ASSERT_EQ(suggestions.size(), 1u);
+  ASSERT_EQ(suggestions[0].term.kind, LabelTerm::Kind::Static);
+  EXPECT_EQ(suggestions[0].term.fixed, kPT);
+}
+
+TEST(Suggest, WorksOnTheScratchpadModel) {
+  // Strip the read port annotation from the Fig. 5 model and re-derive it,
+  // offering rd_tag as a candidate classifier.
+  auto m = rtl::buildTaggedScratchpad(true);
+  const auto rd = m.findSignal("rd_data");
+  const auto rd_tag = m.findSignal("rd_tag");
+  ASSERT_TRUE(rd.valid());
+  m.setLabel(rd, LabelTerm::unconstrained());
+
+  const auto suggestions = suggestOutputLabels(m, {rd_tag});
+  ASSERT_EQ(suggestions.size(), 1u);
+  applySuggestions(m, suggestions);
+  EXPECT_TRUE(check(m).ok());
+  // The suggested label is indexed by rd_tag, as the original was, with the
+  // chain levels as entries.
+  ASSERT_EQ(suggestions[0].term.kind, LabelTerm::Kind::Dependent);
+  EXPECT_EQ(m.signal(suggestions[0].term.selector).name, "rd_tag");
+  EXPECT_EQ(suggestions[0].term.by_value[0].c, Conf::level(0));
+  EXPECT_EQ(suggestions[0].term.by_value[3].c, Conf::level(3));
+}
+
+TEST(Suggest, CandidateSelectorNotNeededWhenFlowIsStatic) {
+  Module m{"cand"};
+  const auto sel = m.input("sel", 1, LabelTerm::of(kPT));
+  const auto a = m.input("a", 8, LabelTerm::of(kSecret));
+  const auto o = m.output("o", 8, LabelTerm::unconstrained());
+  m.assign(o, m.read(a));
+  const auto suggestions = suggestOutputLabels(m, {sel});
+  ASSERT_EQ(suggestions.size(), 1u);
+  // Flow does not vary with the candidate: static suggestion.
+  EXPECT_EQ(suggestions[0].term.kind, LabelTerm::Kind::Static);
+  EXPECT_EQ(suggestions[0].term.fixed, kSecret);
+}
+
+}  // namespace
+}  // namespace aesifc::ifc

@@ -1,0 +1,80 @@
+#include "lattice/tag.h"
+
+#include <gtest/gtest.h>
+
+namespace aesifc::lattice {
+namespace {
+
+TEST(TagCodec, DefaultPaletteRoundTrip) {
+  TagCodec codec;
+  for (unsigned c = 0; c < 16; ++c) {
+    for (unsigned i = 0; i < 16; ++i) {
+      const HwTag t = static_cast<HwTag>((i << 4) | c);
+      const Label l = codec.decode(t);
+      const auto back = codec.encode(l);
+      ASSERT_TRUE(back.has_value());
+      EXPECT_EQ(codec.decode(*back), l);
+    }
+  }
+}
+
+TEST(TagCodec, FieldExtraction) {
+  EXPECT_EQ(TagCodec::confField(0xa5), 0x5u);
+  EXPECT_EQ(TagCodec::integField(0xa5), 0xau);
+}
+
+TEST(TagCodec, DefaultPaletteOrderMatchesChain) {
+  TagCodec codec;
+  // Higher conf index = more secret.
+  for (unsigned k = 0; k + 1 < 16; ++k) {
+    EXPECT_TRUE(codec.conf(k).flowsTo(codec.conf(k + 1)));
+    EXPECT_FALSE(codec.conf(k + 1).flowsTo(codec.conf(k)));
+    // Higher integ index = more trusted = flows to lower.
+    EXPECT_TRUE(codec.integ(k + 1).flowsTo(codec.integ(k)));
+  }
+}
+
+TEST(TagCodec, EncodeUnknownPointFails) {
+  TagCodec codec;  // chain palette: category sets are not chain points
+  const Label weird{Conf::category(3), Integ::top()};  // {3} is not level(k)
+  EXPECT_FALSE(codec.encode(weird).has_value());
+}
+
+TEST(TagCodec, CustomPaletteWithUserCategories) {
+  // The palette used by the SoC experiments: index k = user category k.
+  std::array<Conf, 16> confs;
+  std::array<Integ, 16> integs;
+  confs[0] = Conf::bottom();
+  integs[0] = Integ::top();
+  for (unsigned k = 1; k < 15; ++k) {
+    confs[k] = Conf::category(k);
+    integs[k] = Integ::category(k);
+  }
+  confs[15] = Conf::top();
+  integs[15] = Integ::bottom();
+  TagCodec codec{confs, integs};
+
+  const Label alice{Conf::category(1), Integ::category(1)};
+  const auto t = codec.encode(alice);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(codec.decode(*t), alice);
+  EXPECT_EQ(TagCodec::confField(*t), 1u);
+  EXPECT_EQ(TagCodec::integField(*t), 1u);
+}
+
+TEST(TagCodec, TagIs8Bits) {
+  // Table 2 context: the prototype stores 8-bit tags (4+4).
+  static_assert(sizeof(HwTag) == 1);
+  TagCodec codec;
+  const auto t = codec.encode(Label{codec.conf(15), codec.integ(15)});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 0xff);
+}
+
+TEST(TagCodec, ToStringMentionsIndex) {
+  TagCodec codec;
+  EXPECT_NE(codec.toString(0x21).find("#33"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aesifc::lattice

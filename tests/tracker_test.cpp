@@ -1,0 +1,184 @@
+#include "ifc/tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace aesifc::ifc {
+namespace {
+
+using hdl::LabelTerm;
+using hdl::Module;
+using lattice::Conf;
+using lattice::Integ;
+using lattice::Label;
+using lattice::Principal;
+
+const Label kPT = Label::publicTrusted();
+const Label kSecret{Conf::top(), Integ::top()};
+const LabelTerm kPTTerm = LabelTerm::of(kPT);
+
+TEST(Tracker, LabelsPropagateThroughLogic) {
+  Module m{"prop"};
+  const auto a = m.input("a", 8, kPTTerm);
+  const auto b = m.input("b", 8, kPTTerm);
+  const auto o = m.output("o", 8, LabelTerm::unconstrained());
+  m.assign(o, m.bxor(m.read(a), m.read(b)));
+
+  DynamicTracker t{m};
+  t.poke("a", BitVec(8, 0x12), kPT);
+  t.poke("b", BitVec(8, 0x34), kSecret);
+  t.evalComb();
+  EXPECT_EQ(t.value("o").toU64(), 0x12u ^ 0x34u);
+  EXPECT_EQ(t.label("o"), kSecret.join(kPT));
+}
+
+TEST(Tracker, OutputLeakDetected) {
+  Module m{"leak"};
+  const auto a = m.input("a", 8, kPTTerm);
+  const auto o = m.output("o", 8, kPTTerm);  // public output
+  m.assign(o, m.read(a));
+
+  DynamicTracker t{m};
+  t.poke("a", BitVec(8, 1), kSecret);  // secret data arrives at runtime
+  t.step();
+  EXPECT_GE(t.eventCount(RuntimeEvent::Kind::OutputLeak), 1u);
+}
+
+TEST(Tracker, NoLeakWhenDataIsPublic) {
+  Module m{"ok"};
+  const auto a = m.input("a", 8, kPTTerm);
+  const auto o = m.output("o", 8, kPTTerm);
+  m.assign(o, m.read(a));
+  DynamicTracker t{m};
+  t.poke("a", BitVec(8, 1), kPT);
+  t.step(3);
+  EXPECT_EQ(t.events().size(), 0u);
+}
+
+TEST(Tracker, PreciseMuxTracksTakenBranchOnly) {
+  Module m{"mux"};
+  const auto c = m.input("c", 1, kPTTerm);
+  const auto s = m.input("s", 8, kPTTerm);
+  const auto p = m.input("p", 8, kPTTerm);
+  const auto o = m.output("o", 8, LabelTerm::unconstrained());
+  m.assign(o, m.mux(m.read(c), m.read(s), m.read(p)));
+
+  DynamicTracker precise{m, TrackPrecision::Precise};
+  precise.poke("c", BitVec(1, 0), kPT);
+  precise.poke("s", BitVec(8, 1), kSecret);
+  precise.poke("p", BitVec(8, 2), kPT);
+  precise.evalComb();
+  // Public branch taken: precise tracking keeps the output public.
+  EXPECT_EQ(precise.label("o"), kPT);
+
+  DynamicTracker conservative{m, TrackPrecision::Conservative};
+  conservative.poke("c", BitVec(1, 0), kPT);
+  conservative.poke("s", BitVec(8, 1), kSecret);
+  conservative.poke("p", BitVec(8, 2), kPT);
+  conservative.evalComb();
+  // GLIFT-style tracking joins both branches.
+  EXPECT_EQ(conservative.label("o"), kSecret);
+}
+
+TEST(Tracker, RegisterHoldsLabelAndJoinsEnable) {
+  Module m{"reg"};
+  const auto d = m.input("d", 8, kPTTerm);
+  const auto en = m.input("en", 1, kPTTerm);
+  const auto r = m.reg("r", 8, kPTTerm);
+  const auto o = m.output("o", 8, LabelTerm::unconstrained());
+  m.regWrite(r, m.read(d), m.read(en));
+  m.assign(o, m.read(r));
+
+  DynamicTracker t{m};
+  t.poke("d", BitVec(8, 7), kPT);
+  t.poke("en", BitVec(1, 1), kSecret);  // secret-controlled update timing
+  t.step();
+  EXPECT_EQ(t.label("o"), kSecret);
+}
+
+TEST(Tracker, SuppressedWriteStillTaintsRegister) {
+  Module m{"hold"};
+  const auto d = m.input("d", 8, kPTTerm);
+  const auto en = m.input("en", 1, kPTTerm);
+  const auto r = m.reg("r", 8, kPTTerm);
+  const auto o = m.output("o", 8, LabelTerm::unconstrained());
+  m.regWrite(r, m.read(d), m.read(en));
+  m.assign(o, m.read(r));
+
+  DynamicTracker t{m};
+  t.poke("d", BitVec(8, 7), kPT);
+  t.poke("en", BitVec(1, 0), kSecret);  // no write, but the *absence* leaks
+  t.step();
+  EXPECT_EQ(t.label("o"), kSecret);
+  EXPECT_EQ(t.value("o").toU64(), 0u);  // value unchanged
+}
+
+TEST(Tracker, RuntimeDeclassifyAllowed) {
+  Module m{"dg"};
+  const auto s = m.input("s", 8, LabelTerm::of(kSecret));
+  const auto o = m.output("o", 8, kPTTerm);
+  m.declassify(o, m.read(s), kPT, Principal::supervisor());
+
+  DynamicTracker t{m};
+  t.poke("s", BitVec(8, 0x42), kSecret);
+  t.step();
+  EXPECT_EQ(t.label("o"), kPT);
+  EXPECT_EQ(t.events().size(), 0u);
+}
+
+TEST(Tracker, RuntimeDeclassifyRejectedKeepsLabel) {
+  Module m{"dgbad"};
+  const auto s = m.input("s", 8, LabelTerm::of(kSecret));
+  const auto o = m.output("o", 8, LabelTerm::unconstrained());
+  m.declassify(o, m.read(s), kPT,
+               Principal{"mallory", Label{Conf::bottom(), Integ::bottom()}});
+
+  DynamicTracker t{m};
+  t.poke("s", BitVec(8, 0x42), kSecret);
+  t.step();
+  EXPECT_GE(t.eventCount(RuntimeEvent::Kind::DowngradeRejected), 1u);
+  EXPECT_EQ(t.label("o"), kSecret);  // restrictive label retained
+}
+
+TEST(Tracker, DependentOutputAnnotationUsesRuntimeSelector) {
+  Module m{"depout"};
+  const auto sel = m.input("sel", 1, kPTTerm);
+  const auto s = m.input("s", 8, kPTTerm);
+  const auto o = m.output(
+      "o", 8, LabelTerm::dependent(sel, {kPT, kSecret}));
+  m.assign(o, m.read(s));
+
+  DynamicTracker t{m};
+  // Secret data while the selector says "secret window": fine.
+  t.poke("sel", BitVec(1, 1), kPT);
+  t.poke("s", BitVec(8, 1), kSecret);
+  t.step();
+  EXPECT_EQ(t.events().size(), 0u);
+  // Secret data while the selector says "public window": leak.
+  t.poke("sel", BitVec(1, 0), kPT);
+  t.step();
+  EXPECT_GE(t.eventCount(RuntimeEvent::Kind::OutputLeak), 1u);
+}
+
+TEST(Tracker, ResetClearsEventsAndLabels) {
+  Module m{"rst"};
+  const auto a = m.input("a", 8, kPTTerm);
+  const auto o = m.output("o", 8, kPTTerm);
+  m.assign(o, m.read(a));
+  DynamicTracker t{m};
+  t.poke("a", BitVec(8, 1), kSecret);
+  t.step();
+  EXPECT_GE(t.events().size(), 1u);
+  t.reset();
+  EXPECT_EQ(t.events().size(), 0u);
+  EXPECT_EQ(t.label("a"), kPT);
+}
+
+TEST(RuntimeEvent, ToStringMentionsSignal) {
+  RuntimeEvent e{RuntimeEvent::Kind::OutputLeak, 5, "ct", kSecret, kPT, "boom"};
+  const auto s = e.toString();
+  EXPECT_NE(s.find("ct"), std::string::npos);
+  EXPECT_NE(s.find("cycle 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aesifc::ifc

@@ -1,0 +1,131 @@
+#include "hdl/verilog.h"
+
+#include <gtest/gtest.h>
+
+#include "hdl/parser.h"
+#include "rtl/aes_ir.h"
+#include "rtl/verif_models.h"
+
+namespace aesifc::hdl {
+namespace {
+
+using lattice::Label;
+
+const LabelTerm kPT = LabelTerm::of(Label::publicTrusted());
+
+TEST(Verilog, PortsAndModuleShape) {
+  Module m{"shape"};
+  const auto a = m.input("a", 8, kPT);
+  const auto o = m.output("o", 8, kPT);
+  m.assign(o, m.bnot(m.read(a)));
+  const auto v = emitVerilog(m);
+  EXPECT_NE(v.find("module shape ("), std::string::npos);
+  EXPECT_NE(v.find("input wire clk"), std::string::npos);
+  EXPECT_NE(v.find("input wire [7:0] a"), std::string::npos);
+  EXPECT_NE(v.find("output wire [7:0] o"), std::string::npos);
+  EXPECT_NE(v.find("assign o = "), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, RegistersGetAlwaysBlocksWithReset) {
+  Module m{"regs"};
+  const auto en = m.input("en", 1, kPT);
+  const auto r = m.reg("ctr", 4, kPT, BitVec(4, 9));
+  const auto o = m.output("o", 4, kPT);
+  m.regWrite(r, m.add(m.read(r), m.c(4, 1)), m.read(en));
+  m.assign(o, m.read(r));
+  const auto v = emitVerilog(m);
+  EXPECT_NE(v.find("reg [3:0] ctr;"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(v.find("ctr <= 4'h9;"), std::string::npos);  // reset value
+  EXPECT_NE(v.find("if (rst)"), std::string::npos);
+}
+
+TEST(Verilog, MultipleWritesKeepProgramOrder) {
+  Module m{"prio"};
+  const auto r = m.reg("r", 4, kPT);
+  const auto o = m.output("o", 4, kPT);
+  m.regWrite(r, m.c(4, 1), m.c(1, 1));
+  m.regWrite(r, m.c(4, 2), m.c(1, 1));
+  m.assign(o, m.read(r));
+  const auto v = emitVerilog(m);
+  // Exactly one always block for r, containing both conditional writes.
+  EXPECT_EQ(v.find("always @(posedge clk)"),
+            v.rfind("always @(posedge clk)"));
+  const auto first = v.find("r <= e");
+  const auto second = v.find("r <= e", first + 1);
+  EXPECT_NE(second, std::string::npos);
+}
+
+TEST(Verilog, LutsBecomeCaseFunctions) {
+  Module m{"withlut"};
+  const auto a = m.input("a", 2, kPT);
+  const auto o = m.output("o", 8, kPT);
+  m.assign(o, m.lut(m.read(a), {BitVec(8, 0x10), BitVec(8, 0x20),
+                                BitVec(8, 0x30), BitVec(8, 0x40)}));
+  const auto v = emitVerilog(m);
+  EXPECT_NE(v.find("function [7:0] f_e"), std::string::npos);
+  EXPECT_NE(v.find("case (idx)"), std::string::npos);
+  EXPECT_NE(v.find("8'h30"), std::string::npos);
+  EXPECT_NE(v.find("endfunction"), std::string::npos);
+}
+
+TEST(Verilog, LabelsAndDowngradesEmittedAsComments) {
+  auto m = rtl::buildStallPipeline(true);
+  const auto v = emitVerilog(m);
+  EXPECT_NE(v.find("// label in_data : DL(in_tag)"), std::string::npos);
+  EXPECT_NE(v.find("// DECLASSIFY to (PUB,TRU) by stall_arbiter"),
+            std::string::npos);
+}
+
+TEST(Verilog, CommentsCanBeSuppressed) {
+  auto m = rtl::buildStallPipeline(true);
+  VerilogOptions opts;
+  opts.emit_label_comments = false;
+  const auto v = emitVerilog(m, opts);
+  EXPECT_EQ(v.find("// label"), std::string::npos);
+}
+
+TEST(Verilog, FullAesNetlistExports) {
+  auto m = rtl::buildAesEncrypt128(nullptr);
+  const auto v = emitVerilog(m);
+  // One case-function per LUT node: 160 S-boxes + 144 xtime tables.
+  std::size_t functions = 0;
+  for (std::size_t pos = v.find("function ["); pos != std::string::npos;
+       pos = v.find("function [", pos + 1)) {
+    ++functions;
+  }
+  EXPECT_EQ(functions, 304u);
+  EXPECT_NE(v.find("output wire [127:0] ct"), std::string::npos);
+}
+
+TEST(Verilog, SequentialPipelineExports) {
+  auto m = rtl::buildAesPipelineIr(nullptr);
+  const auto v = emitVerilog(m);
+  EXPECT_NE(v.find("reg [127:0] s10;"), std::string::npos);
+  EXPECT_NE(v.find("reg [0:0] v10;"), std::string::npos);
+  // Sanity: roughly one always block per register (21 registers).
+  std::size_t always = 0;
+  for (std::size_t pos = v.find("always @"); pos != std::string::npos;
+       pos = v.find("always @", pos + 1)) {
+    ++always;
+  }
+  EXPECT_EQ(always, 20u);
+}
+
+TEST(Verilog, ParsedDesignsExportToo) {
+  const auto m = parseModule(R"(
+    module demo {
+      input a : 4 label (PUB, TRU);
+      input b : 4 label (PUB, TRU);
+      output o : 4 label (PUB, TRU);
+      assign o = mux(a == b, a + b, a ^ b);
+    }
+  )");
+  const auto v = emitVerilog(m);
+  EXPECT_NE(v.find("module demo ("), std::string::npos);
+  EXPECT_NE(v.find(" ? "), std::string::npos);  // mux became a ternary
+}
+
+}  // namespace
+}  // namespace aesifc::hdl

@@ -1,0 +1,104 @@
+#include "soc/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace aesifc::soc {
+namespace {
+
+using accel::AcceleratorConfig;
+using accel::AesAccelerator;
+using accel::SecurityMode;
+
+AcceleratorConfig cfgOf(SecurityMode mode, bool coarse = false) {
+  AcceleratorConfig c;
+  c.mode = mode;
+  c.coarse_grained = coarse;
+  return c;
+}
+
+TEST(Workload, ProtectedMultiTenantTrafficIsCorrect) {
+  AesAccelerator acc{cfgOf(SecurityMode::Protected)};
+  const auto setup = setupTenants(acc, 3);
+  WorkloadConfig w;
+  w.blocks_per_user = 128;
+  const auto r = runSharedWorkload(acc, setup, w);
+  EXPECT_TRUE(r.all_correct) << r.mismatches << " mismatches";
+  EXPECT_EQ(r.blocks_completed, 3u * 128u);
+}
+
+TEST(Workload, BaselineMultiTenantTrafficIsCorrect) {
+  AesAccelerator acc{cfgOf(SecurityMode::Baseline)};
+  const auto setup = setupTenants(acc, 3);
+  WorkloadConfig w;
+  w.blocks_per_user = 128;
+  const auto r = runSharedWorkload(acc, setup, w);
+  EXPECT_TRUE(r.all_correct);
+}
+
+TEST(Workload, ProtectionCostsNoThroughput) {
+  // Section 4: protection has no impact on the clock or the pipeline rate;
+  // in cycle terms the protected accelerator matches the baseline.
+  WorkloadConfig w;
+  w.blocks_per_user = 256;
+
+  AesAccelerator base{cfgOf(SecurityMode::Baseline)};
+  const auto bs = setupTenants(base, 3);
+  const auto br = runSharedWorkload(base, bs, w);
+
+  AesAccelerator prot{cfgOf(SecurityMode::Protected)};
+  const auto ps = setupTenants(prot, 3);
+  const auto pr = runSharedWorkload(prot, ps, w);
+
+  EXPECT_TRUE(br.all_correct);
+  EXPECT_TRUE(pr.all_correct);
+  EXPECT_NEAR(static_cast<double>(pr.cycles), static_cast<double>(br.cycles),
+              br.cycles * 0.02);
+}
+
+TEST(Workload, FineGrainedBeatsCoarseGrained) {
+  // The motivation of Section 1: coarse-grained sharing drains the deep
+  // pipeline on every user switch.
+  WorkloadConfig w;
+  w.blocks_per_user = 64;
+
+  AesAccelerator fine{cfgOf(SecurityMode::Protected, /*coarse=*/false)};
+  const auto fs = setupTenants(fine, 3);
+  const auto fr = runSharedWorkload(fine, fs, w);
+
+  AesAccelerator coarse{cfgOf(SecurityMode::Protected, /*coarse=*/true)};
+  const auto cs = setupTenants(coarse, 3);
+  const auto cr = runSharedWorkload(coarse, cs, w);
+
+  EXPECT_TRUE(fr.all_correct);
+  EXPECT_TRUE(cr.all_correct);
+  EXPECT_GT(fr.blocks_per_cycle, cr.blocks_per_cycle * 1.2)
+      << "fine=" << fr.blocks_per_cycle << " coarse=" << cr.blocks_per_cycle;
+}
+
+TEST(Workload, SaturatedPipelineApproachesOneBlockPerCycle) {
+  AesAccelerator acc{cfgOf(SecurityMode::Protected)};
+  const auto setup = setupTenants(acc, 4);
+  WorkloadConfig w;
+  w.blocks_per_user = 512;
+  const auto r = runSharedWorkload(acc, setup, w);
+  EXPECT_TRUE(r.all_correct);
+  // 4 users x 2-deep submit windows keep the arbiter busy most cycles.
+  EXPECT_GT(r.blocks_per_cycle, 0.8);
+}
+
+TEST(Workload, LatencyNeverBelowPipelineDepth) {
+  AesAccelerator acc{cfgOf(SecurityMode::Protected)};
+  const auto setup = setupTenants(acc, 2);
+  WorkloadConfig w;
+  w.blocks_per_user = 64;
+  const auto r = runSharedWorkload(acc, setup, w);
+  EXPECT_GE(r.latency.min, 30u);
+}
+
+TEST(Workload, SetupRejectsTooManyTenants) {
+  AesAccelerator acc{cfgOf(SecurityMode::Protected)};
+  EXPECT_THROW(setupTenants(acc, 12), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aesifc::soc

@@ -1,0 +1,120 @@
+// aesifc-check: command-line static IFC verifier for security-typed HDL
+// sources — the developer-facing entry point of the methodology.
+//
+//   aesifc-check design.shdl             # parse + check, print report
+//   aesifc-check --suggest design.shdl   # also suggest labels for
+//                                        # unannotated outputs
+//   aesifc-check --emit design.shdl      # echo the canonical source form
+//   aesifc-check --verilog design.shdl   # export synthesizable Verilog
+//                                        # (only when the check passes)
+//
+// Exit status: 0 = verified, 1 = violations found, 2 = parse/usage error.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "area/model.h"
+#include "hdl/parser.h"
+#include "hdl/verilog.h"
+#include "ifc/checker.h"
+#include "ifc/suggest.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: aesifc-check [--suggest] [--emit] [--verilog] "
+               "[--area] <file.shdl>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool suggest = false;
+  bool emit = false;
+  bool verilog = false;
+  bool area = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--suggest") {
+      suggest = true;
+    } else if (arg == "--emit") {
+      emit = true;
+    } else if (arg == "--verilog") {
+      verilog = true;
+    } else if (arg == "--area") {
+      area = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage();
+
+  bool all_ok = true;
+  for (const auto& path : files) {
+    std::ifstream f{path};
+    if (!f) {
+      std::fprintf(stderr, "aesifc-check: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::stringstream buf;
+    buf << f.rdbuf();
+
+    try {
+      auto m = aesifc::hdl::parseModule(buf.str());
+      std::printf("== %s (module %s): %zu signals, %zu assigns, %zu reg "
+                  "writes, %zu downgrades\n",
+                  path.c_str(), m.name().c_str(), m.signals().size(),
+                  m.assigns().size(), m.regWrites().size(),
+                  m.downgrades().size());
+      if (emit) {
+        std::printf("%s", aesifc::hdl::emitModule(m).c_str());
+      }
+      const auto report = aesifc::ifc::check(m);
+      std::printf("%s", report.toString().c_str());
+      if (!report.ok()) all_ok = false;
+
+      if (area) {
+        const auto res = aesifc::area::estimateModule(m);
+        std::printf("area estimate: %llu LUTs, %llu FFs\n",
+                    static_cast<unsigned long long>(res.luts),
+                    static_cast<unsigned long long>(res.ffs));
+      }
+
+      if (verilog) {
+        if (report.ok()) {
+          std::printf("%s", aesifc::hdl::emitVerilog(m).c_str());
+        } else {
+          std::printf("// Verilog export suppressed: the design did not "
+                      "verify.\n");
+        }
+      }
+
+      if (suggest) {
+        const auto suggestions = aesifc::ifc::suggestOutputLabels(m);
+        if (suggestions.empty()) {
+          std::printf("no unannotated outputs.\n");
+        } else {
+          std::printf("label suggestions:\n");
+          for (const auto& s : suggestions) {
+            std::printf("  output %s : %s\n", s.signal_name.c_str(),
+                        s.rendered.c_str());
+          }
+        }
+      }
+    } catch (const aesifc::hdl::ParseError& e) {
+      std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(), e.what());
+      return 2;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: error: %s\n", path.c_str(), e.what());
+      return 2;
+    }
+  }
+  return all_ok ? 0 : 1;
+}
