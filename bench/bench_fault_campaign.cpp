@@ -1,0 +1,185 @@
+// Fault-campaign bench: throughput and recovery-latency cost of the
+// fail-secure hardening under seeded fault injection, hardening on vs off,
+// at several fault rates. Emits one JSON record per configuration (plus a
+// human-readable table) so campaign results can be tracked over time.
+//
+// "Recovery latency" is driver-visible: the mean extra device cycles a
+// successful operation costs at a given fault rate compared to the same
+// seed with no faults (retries, backoff, and scrub-induced aborts).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "accel/driver.h"
+#include "common/rng.h"
+#include "soc/fault_injector.h"
+#include "soc/metrics.h"
+
+namespace {
+
+using namespace aesifc;
+using accel::AccelSession;
+using accel::AccelStatus;
+using accel::AcceleratorConfig;
+using accel::AesAccelerator;
+using accel::SecurityMode;
+using accel::SessionOptions;
+using lattice::Conf;
+using lattice::Principal;
+
+struct CampaignOutcome {
+  unsigned ops = 0;
+  unsigned ok = 0;
+  std::uint64_t device_cycles = 0;
+  std::uint64_t retries = 0;
+  soc::FaultCampaignReport report;
+  AesAccelerator::Stats stats;
+};
+
+CampaignOutcome runCampaign(bool hardened, double rate, std::uint64_t seed,
+                            unsigned ops_per_user) {
+  AcceleratorConfig cfg;
+  cfg.mode = SecurityMode::Protected;
+  cfg.fault_hardening = hardened;
+  cfg.out_buffer_depth = 16;
+  AesAccelerator acc{cfg};
+  acc.addUser(Principal::supervisor());
+  constexpr unsigned kUsers = 3;
+  unsigned users[kUsers];
+  std::vector<std::vector<std::uint8_t>> keys(kUsers);
+  Rng rng{seed};
+  for (unsigned u = 0; u < kUsers; ++u) {
+    users[u] = acc.addUser(Principal::user("u" + std::to_string(u), u + 1));
+    keys[u].resize(16);
+    for (auto& b : keys[u]) b = static_cast<std::uint8_t>(rng.next());
+    accel::loadKey128(acc, users[u], u + 1, 2 * u, keys[u],
+                      Conf::category(u + 1));
+  }
+
+  soc::FaultCampaignConfig fcfg;
+  fcfg.seed = seed * 7919;
+  fcfg.fault_rate = rate;
+  soc::FaultInjector inj{acc, fcfg, {users[0], users[1], users[2]}};
+  if (rate > 0.0) acc.setTickHook([&] { inj.tick(); });
+
+  SessionOptions opts;
+  opts.timeout_cycles = 1200;
+  opts.max_retries = 3;
+  opts.backoff_cycles = 16;
+  std::vector<AccelSession> sessions;
+  for (unsigned u = 0; u < kUsers; ++u)
+    sessions.emplace_back(acc, users[u], u + 1, opts);
+
+  CampaignOutcome out;
+  std::vector<bool> needs_reload(kUsers, false);
+  const std::uint64_t t0 = acc.cycle();
+  for (unsigned round = 0; round < ops_per_user; ++round) {
+    for (unsigned u = 0; u < kUsers; ++u) {
+      if (needs_reload[u]) {
+        if (!accel::loadKey128(acc, users[u], u + 1, 2 * u, keys[u],
+                               Conf::category(u + 1))) {
+          continue;
+        }
+        needs_reload[u] = false;
+      }
+      aes::Block pt;
+      for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+      ++out.ops;
+      const auto r = sessions[u].encryptBlock(pt);
+      if (r.has_value()) {
+        ++out.ok;
+      } else if (r.status() == AccelStatus::Rejected) {
+        needs_reload[u] = true;
+      }
+    }
+  }
+  acc.setTickHook(nullptr);
+  inj.releaseStuckReceivers();
+  out.device_cycles = acc.cycle() - t0;
+  for (const auto& s : sessions) out.retries += s.retries();
+  out.report = inj.report();
+  out.stats = acc.stats();
+  return out;
+}
+
+void printCampaigns() {
+  constexpr unsigned kOps = 40;
+  constexpr std::uint64_t kSeed = 2019;
+  const double rates[] = {0.0, 0.005, 0.02, 0.05};
+
+  std::printf("==============================================================\n");
+  std::printf("Fault campaign: fail-secure hardening cost & recovery\n");
+  std::printf("==============================================================\n");
+  std::printf("%-9s %-7s %-6s %-6s %-9s %-10s %-9s %-9s %-8s\n", "hardened",
+              "rate", "ops", "ok", "cycles", "cyc/ok-op", "detected",
+              "aborted", "retries");
+
+  // Per-mode fault-free baseline for the recovery-latency delta.
+  double base_cyc_per_op[2] = {0.0, 0.0};
+  for (const bool hardened : {false, true}) {
+    for (const double rate : rates) {
+      const auto o = runCampaign(hardened, rate, kSeed, kOps);
+      const double per_op =
+          o.ok ? static_cast<double>(o.device_cycles) / o.ok : 0.0;
+      if (rate == 0.0) base_cyc_per_op[hardened ? 1 : 0] = per_op;
+      const double recovery =
+          per_op - base_cyc_per_op[hardened ? 1 : 0];  // extra cycles/op
+      std::printf("%-9s %-7.3f %-6u %-6u %-9llu %-10.1f %-9llu %-9llu %-8llu\n",
+                  hardened ? "yes" : "no", rate, o.ops, o.ok,
+                  static_cast<unsigned long long>(o.device_cycles), per_op,
+                  static_cast<unsigned long long>(o.stats.faults_detected),
+                  static_cast<unsigned long long>(o.stats.fault_aborted),
+                  static_cast<unsigned long long>(o.retries));
+
+      soc::RobustnessStats rs;
+      rs.faults_injected = o.report.injected;
+      rs.faults_detected = o.stats.faults_detected;
+      rs.faults_recovered = o.stats.faults_recovered;
+      rs.fault_aborts = o.stats.fault_aborted;
+      rs.retries = o.retries;
+      rs.drops = o.stats.dropped + o.report.host_drops;
+      std::printf(
+          "JSON {\"bench\":\"fault_campaign\",\"hardened\":%s,"
+          "\"fault_rate\":%.3f,\"ops\":%u,\"ok\":%u,\"device_cycles\":%llu,"
+          "\"cycles_per_ok_op\":%.2f,\"recovery_latency_cycles\":%.2f,"
+          "\"robustness\":%s,\"campaign\":%s}\n",
+          hardened ? "true" : "false", rate, o.ops, o.ok,
+          static_cast<unsigned long long>(o.device_cycles), per_op, recovery,
+          rs.toJson().c_str(), o.report.toJson().c_str());
+    }
+  }
+  std::printf(
+      "\nHardening on a quiet device costs ~0 cycles; under faults the\n"
+      "unhardened design keeps its throughput by silently emitting wrong\n"
+      "ciphertext, while the hardened design converts upsets into detected\n"
+      "aborts + bounded driver retries.\n\n");
+}
+
+void BM_CampaignHardened(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 1000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runCampaign(true, rate, 2019, 20));
+  }
+}
+BENCHMARK(BM_CampaignHardened)->Arg(0)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignUnhardened(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 1000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runCampaign(false, rate, 2019, 20));
+  }
+}
+BENCHMARK(BM_CampaignUnhardened)->Arg(0)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printCampaigns();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

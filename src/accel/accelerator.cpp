@@ -27,7 +27,144 @@ const Principal& AesAccelerator::principal(unsigned user) const {
 
 void AesAccelerator::recordEvent(SecurityEventKind kind, unsigned user,
                                  std::string detail) {
+  ++event_counts_[static_cast<unsigned>(kind)];
   events_.push_back({kind, cycle_, user, std::move(detail)});
+  while (events_.size() > cfg_.event_log_cap) {
+    events_.pop_front();
+    ++events_overflowed_;
+  }
+}
+
+void AesAccelerator::noteFault(FaultSite site, bool recovered, unsigned user,
+                               std::string detail) {
+  ++stats_.faults_detected;
+  if (recovered) ++stats_.faults_recovered;
+  if (static_cast<unsigned>(site) < kHwFaultSites)
+    ++faults_by_site_[static_cast<unsigned>(site)];
+  recordEvent(recovered ? SecurityEventKind::FaultScrubbed
+                        : SecurityEventKind::FaultDetected,
+              user, toString(site) + ": " + std::move(detail));
+}
+
+void AesAccelerator::deliverAbort(const StageSlot& slot) {
+  BlockResponse resp;
+  resp.req_id = slot.req_id;
+  resp.user = slot.user;
+  resp.data = aes::Block{};  // nothing is released from a squashed stage
+  resp.accept_cycle = slot.accept_cycle;
+  resp.complete_cycle = cycle_;
+  resp.fault_aborted = true;
+  ++stats_.fault_aborted;
+  if (slot.user < output_queues_.size())
+    output_queues_[slot.user].push_back(std::move(resp));
+}
+
+unsigned AesAccelerator::zeroizeSlotSquash(unsigned slot) {
+  unsigned casualties = 0;
+  for (unsigned i = 0; i < pipeline_.depth(); ++i) {
+    const StageSlot& s = pipeline_.stage(i);
+    if (s.valid && s.key_slot == slot) {
+      const StageSlot copy = s;
+      pipeline_.squash(i);
+      deliverAbort(copy);
+      ++casualties;
+    }
+  }
+  round_keys_.clear(slot);
+  return casualties;
+}
+
+void AesAccelerator::scrubTick() {
+  // Fast ring: every pipeline-stage comparator and every scratchpad tag
+  // comparator runs each cycle (parallel hardware), so a flipped tag is
+  // caught before any release decision can consult it.
+  for (unsigned i = 0; i < pipeline_.depth(); ++i) {
+    if (pipeline_.stageParityOk(i)) continue;
+    const StageSlot s = pipeline_.stage(i);
+    const bool tag_fault = s.tag_parity != labelParity(s.tag);
+    // Fail secure: the corrupted stage is squashed before its contents or
+    // tag are used again — the tag can only ever fail upward, never toward
+    // public. A tag fault also voids the key binding: zeroize the slot.
+    pipeline_.squash(i);
+    deliverAbort(s);
+    noteFault(tag_fault ? FaultSite::StageTag : FaultSite::StageData,
+              /*recovered=*/false, s.user,
+              "stage " + std::to_string(i) + " parity mismatch; squashed");
+    if (tag_fault) zeroizeSlotSquash(s.key_slot);
+  }
+  for (unsigned c = 0; c < kScratchpadCells; ++c) {
+    if (scratchpad_.tagParityOk(c)) continue;
+    scratchpad_.failSecure(c);
+    noteFault(FaultSite::ScratchTag, /*recovered=*/true, 0,
+              "cell " + std::to_string(c) + " tag parity; quarantined");
+  }
+  // Slow ring: one scratchpad cell, round-key slot, or config register per
+  // cycle, round-robin.
+  const auto& names = config_regs_.names();
+  const unsigned total = kScratchpadCells + kRoundKeySlots +
+                         static_cast<unsigned>(names.size());
+  const unsigned idx = scrub_next_++ % total;
+  if (idx < kScratchpadCells) {
+    if (!scratchpad_.cellParityOk(idx)) {
+      scratchpad_.failSecure(idx);
+      noteFault(FaultSite::ScratchCell, /*recovered=*/true, 0,
+                "cell " + std::to_string(idx) + " data parity; zeroized");
+    }
+  } else if (idx < kScratchpadCells + kRoundKeySlots) {
+    const unsigned slot = idx - kScratchpadCells;
+    if (!round_keys_.slotParityOk(slot)) {
+      const unsigned casualties = zeroizeSlotSquash(slot);
+      noteFault(FaultSite::RoundKey, /*recovered=*/casualties == 0, 0,
+                "slot " + std::to_string(slot) + " parity; zeroized (" +
+                    std::to_string(casualties) + " blocks squashed)");
+    }
+  } else {
+    const auto& name = names[idx - kScratchpadCells - kRoundKeySlots];
+    if (!config_regs_.parityOk(name)) {
+      config_regs_.restoreDefault(name);
+      noteFault(FaultSite::ConfigReg, /*recovered=*/true, 0,
+                "'" + name + "' parity; restored power-on default");
+    }
+  }
+}
+
+bool AesAccelerator::injectFault(FaultSite site, unsigned index,
+                                 unsigned bit) {
+  switch (site) {
+    case FaultSite::StageData:
+      return pipeline_.faultFlipStageDataBit(index, bit % 128);
+    case FaultSite::StageTag:
+      return pipeline_.faultFlipStageTagBit(index, bit % 32);
+    case FaultSite::ScratchCell:
+      return scratchpad_.faultFlipCellBit(index % kScratchpadCells, bit % 64);
+    case FaultSite::ScratchTag:
+      return scratchpad_.faultFlipTagBit(index % kScratchpadCells, bit % 32);
+    case FaultSite::RoundKey:
+      return round_keys_.faultFlipKeyBit(index % kRoundKeySlots,
+                                         (bit / 128) % 15, (bit % 128) / 8,
+                                         bit % 8);
+    case FaultSite::ConfigReg: {
+      const auto& names = config_regs_.names();
+      if (names.empty()) return false;
+      return config_regs_.faultFlipBit(names[index % names.size()], bit % 32);
+    }
+    default:
+      return false;  // host sites are driven through the queue hooks
+  }
+}
+
+bool AesAccelerator::injectDuplicateOutput(unsigned user) {
+  if (user >= output_queues_.size() || output_queues_[user].empty())
+    return false;
+  output_queues_[user].push_front(output_queues_[user].front());
+  return true;
+}
+
+bool AesAccelerator::injectDropOutput(unsigned user) {
+  if (user >= output_queues_.size() || output_queues_[user].empty())
+    return false;
+  output_queues_[user].pop_front();
+  return true;
 }
 
 void AesAccelerator::configureKeyCells(unsigned user, unsigned base,
@@ -37,6 +174,14 @@ void AesAccelerator::configureKeyCells(unsigned user, unsigned base,
 
 bool AesAccelerator::writeKeyCell(unsigned user, unsigned cell,
                                   std::uint64_t value) {
+  if (hardened() && cell < kScratchpadCells && !scratchpad_.tagParityOk(cell)) {
+    // Fail secure: a cell whose tag no longer matches its parity bit must
+    // not accept flows based on that tag. Quarantine and refuse.
+    scratchpad_.failSecure(cell);
+    noteFault(FaultSite::ScratchTag, /*recovered=*/false, user,
+              "cell " + std::to_string(cell) + " tag parity at write");
+    return false;
+  }
   const bool ok = scratchpad_.writeCell(cell, value, users_.at(user).authority);
   if (!ok) {
     recordEvent(SecurityEventKind::ScratchpadWriteBlocked, user,
@@ -56,6 +201,17 @@ bool AesAccelerator::loadKey(unsigned user, unsigned slot, unsigned cell_base,
   key_bytes.reserve(aes::keyBytes(ks));
   const Label& requester = users_.at(user).authority;
   for (unsigned i = 0; i < cells; ++i) {
+    if (hardened() && cell_base + i < kScratchpadCells) {
+      const unsigned c = cell_base + i;
+      const bool tag_bad = !scratchpad_.tagParityOk(c);
+      if (tag_bad || !scratchpad_.cellParityOk(c)) {
+        scratchpad_.failSecure(c);
+        noteFault(tag_bad ? FaultSite::ScratchTag : FaultSite::ScratchCell,
+                  /*recovered=*/false, user,
+                  "cell " + std::to_string(c) + " parity at key expansion");
+        return false;
+      }
+    }
     const auto v = scratchpad_.readCell(cell_base + i, requester);
     if (!v.has_value()) {
       recordEvent(SecurityEventKind::ScratchpadReadBlocked, user,
@@ -105,6 +261,9 @@ bool AesAccelerator::clearKey(unsigned user, unsigned slot) {
 std::optional<lattice::HwTag> AesAccelerator::stageHwTag(unsigned stage) const {
   const StageSlot& s = pipeline_.stage(stage);
   if (!s.valid) return std::nullopt;
+  // Fail secure: a tag that fails its parity check is never reported (the
+  // scrub pass will squash the stage at the next tick).
+  if (hardened() && !pipeline_.stageParityOk(stage)) return std::nullopt;
   static const lattice::TagCodec codec = lattice::TagCodec::userCategories();
   return codec.encode(s.tag);
 }
@@ -126,6 +285,12 @@ bool AesAccelerator::writeConfig(unsigned user, const std::string& name,
 
 std::optional<aes::Block> AesAccelerator::debugReadStage(unsigned user,
                                                          unsigned stage) {
+  // Fail secure: a flipped debug_enable bit must not open the debug port.
+  if (hardened() && !config_regs_.parityOk("debug_enable")) {
+    config_regs_.restoreDefault("debug_enable");
+    noteFault(FaultSite::ConfigReg, /*recovered=*/false, user,
+              "'debug_enable' parity at debug read; restored default");
+  }
   if (config_regs_.read("debug_enable") == 0) {
     recordEvent(SecurityEventKind::DebugReadBlocked, user,
                 "debug peripheral disabled");
@@ -133,6 +298,19 @@ std::optional<aes::Block> AesAccelerator::debugReadStage(unsigned user,
   }
   const StageSlot& s = pipeline_.stage(stage);
   if (!s.valid) return std::nullopt;
+  if (hardened() && !pipeline_.stageParityOk(stage)) {
+    // Corrupt stage: squash before anything is released through the
+    // debug port (the tag may have failed toward public).
+    const StageSlot copy = s;
+    const bool tag_fault = copy.tag_parity != labelParity(copy.tag);
+    pipeline_.squash(stage);
+    deliverAbort(copy);
+    noteFault(tag_fault ? FaultSite::StageTag : FaultSite::StageData,
+              /*recovered=*/false, user,
+              "stage " + std::to_string(stage) + " parity at debug read");
+    if (tag_fault) zeroizeSlotSquash(copy.key_slot);
+    return std::nullopt;
+  }
   // A debug read is a confidentiality flow from the stage register to the
   // reader (it does not assert trust in the data).
   if (cfg_.mode == SecurityMode::Protected &&
@@ -148,9 +326,25 @@ std::optional<aes::Block> AesAccelerator::debugReadStage(unsigned user,
 
 bool AesAccelerator::submit(BlockRequest req) {
   if (req.user >= users_.size()) return false;
+  if (req.key_slot >= kRoundKeySlots) {
+    recordEvent(SecurityEventKind::KeySlotBlocked, req.user,
+                "submit with out-of-range key slot " +
+                    std::to_string(req.key_slot));
+    return false;
+  }
   if (!round_keys_.valid(req.key_slot)) {
     recordEvent(SecurityEventKind::KeySlotBlocked, req.user,
                 "submit with invalid key slot " + std::to_string(req.key_slot));
+    return false;
+  }
+  if (hardened() && !round_keys_.slotParityOk(req.key_slot)) {
+    // Fail secure: never start a block on a corrupted key. Zeroize the slot
+    // (squashing any in-flight blocks that still reference it) and refuse.
+    const unsigned casualties = zeroizeSlotSquash(req.key_slot);
+    noteFault(FaultSite::RoundKey, /*recovered=*/false, req.user,
+              "slot " + std::to_string(req.key_slot) +
+                  " parity at submit; zeroized (" +
+                  std::to_string(casualties) + " blocks squashed)");
     return false;
   }
   if (round_keys_.rounds(req.key_slot) > pipeline_.maxRounds()) {
@@ -171,6 +365,7 @@ bool AesAccelerator::submit(BlockRequest req) {
   // user's integrity.
   const Label& u = users_.at(req.user).authority;
   slot.tag = Label{u.c.join(round_keys_.slot(req.key_slot).key_conf), u.i};
+  stampParity(slot);
   input_queues_[req.user].push_back(std::move(slot));
   return true;
 }
@@ -291,6 +486,11 @@ void AesAccelerator::routeCompleted(StageSlot slot, bool to_buffer) {
       recordEvent(SecurityEventKind::OutputBufferOverflow, slot.user,
                   "overflow buffer full; block dropped");
       ++stats_.dropped;
+      // No silent drops: deliver a completion record carrying no data so
+      // the request still terminates in a definite outcome.
+      resp.dropped = true;
+      resp.data = aes::Block{};
+      output_queues_[resp.user].push_back(std::move(resp));
       return;
     }
     ++stats_.buffered;
@@ -317,6 +517,11 @@ void AesAccelerator::drainBuffer() {
 }
 
 void AesAccelerator::tick() {
+  // Parity sweep first: corrupted stages are squashed (and corrupted tags
+  // quarantined) before this cycle's stall meet, declassification, or
+  // arbitration can consult them.
+  if (hardened()) scrubTick();
+
   bool stall = false;
   bool to_buffer = false;
 
@@ -362,11 +567,30 @@ void AesAccelerator::tick() {
     }
     auto completed = pipeline_.advance(std::move(input));
     if (completed.has_value()) {
-      routeCompleted(std::move(*completed), to_buffer);
+      if (hardened() && round_keys_.valid(completed->key_slot) &&
+          !round_keys_.slotParityOk(completed->key_slot)) {
+        // Exit guard: the slow scrub ring visits each round-key slot only
+        // every ~20 cycles, so a block can finish all its rounds against a
+        // corrupted key before the sweep reaches the slot. Never deliver
+        // ciphertext computed from an unverified key — abort the block and
+        // zeroize the slot now.
+        const unsigned slot = completed->key_slot;
+        deliverAbort(*completed);
+        noteFault(FaultSite::RoundKey, /*recovered=*/false, completed->user,
+                  "slot " + std::to_string(slot) + " parity at pipeline exit");
+        zeroizeSlotSquash(slot);
+      } else {
+        routeCompleted(std::move(*completed), to_buffer);
+      }
     }
   }
 
   drainBuffer();
+  // Environment hook (fault injectors, monitors): runs between clock edges,
+  // after this cycle's outputs are queued but before any host logic can
+  // fetch them — so a hook can perturb state the next cycle's parity sweep
+  // will see, and responses delivered this cycle (drop/duplicate faults).
+  if (tick_hook_) tick_hook_();
   ++cycle_;
 }
 
@@ -375,10 +599,8 @@ void AesAccelerator::run(unsigned cycles) {
 }
 
 std::size_t AesAccelerator::eventCount(SecurityEventKind k) const {
-  std::size_t n = 0;
-  for (const auto& e : events_)
-    if (e.kind == k) ++n;
-  return n;
+  // Served from dedicated counters: exact even after ring-buffer eviction.
+  return event_counts_[static_cast<unsigned>(k)];
 }
 
 }  // namespace aesifc::accel

@@ -11,7 +11,9 @@
 // design (the paper derives the protected design from the baseline with a
 // ~70-line delta; here the delta is the SecurityMode checks).
 
+#include <array>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -36,6 +38,16 @@ struct AcceleratorConfig {
   // ablation knob that re-opens an acceptance-delay side channel
   // (see bench_ablation).
   bool meet_includes_inputs = true;
+  // Fail-secure fault hardening: parity on stage data/tag registers, the
+  // scratchpad and its tag array, round-key slots and config registers; a
+  // mismatch squashes the affected block (tags only ever fail upward) and a
+  // background scrub pass sweeps idle state every cycle. Costs nothing when
+  // no faults occur; off reproduces the unhardened design for comparison.
+  bool fault_hardening = true;
+  // Ring-buffer cap on the security event log (unbounded growth otherwise
+  // under long-running traffic); oldest entries are evicted and counted in
+  // eventsOverflowed(). Per-kind eventCount() stays exact regardless.
+  unsigned event_log_cap = 4096;
 };
 
 class AesAccelerator {
@@ -105,8 +117,28 @@ class AesAccelerator {
   // --- Clock -----------------------------------------------------------------
   void tick();
   void run(unsigned cycles);
+  // Called at the end of every tick — between clock edges, after this
+  // cycle's outputs are queued but before host logic can fetch them. Lets
+  // an environment model (fault injector, monitor) act on device state and
+  // on freshly delivered responses even when a driver session owns the
+  // clock. Pass nullptr to clear.
+  void setTickHook(std::function<void()> hook) {
+    tick_hook_ = std::move(hook);
+  }
   std::uint64_t cycle() const { return cycle_; }
   const AesPipeline& pipeline() const { return pipeline_; }
+
+  // --- Fault injection (campaign hooks) ------------------------------------
+  // Flip one bit at a hardware site, modeling a single-event upset; parity
+  // bits are deliberately NOT updated. `index` selects the stage / cell /
+  // slot / register (register names are indexed via the config-register
+  // name table); for RoundKey, `bit` encodes round*128 + byte*8 + bit.
+  // Returns false when the target does not exist or holds no state.
+  bool injectFault(FaultSite site, unsigned index, unsigned bit);
+  // Host-interface perturbations: replay or lose the response at the head
+  // of a user's output queue. Return false when the queue is empty.
+  bool injectDuplicateOutput(unsigned user);
+  bool injectDropOutput(unsigned user);
 
   // --- Telemetry ----------------------------------------------------------
   struct Stats {
@@ -117,10 +149,25 @@ class AesAccelerator {
     std::uint64_t denied_stalls = 0;
     std::uint64_t buffered = 0;
     std::uint64_t dropped = 0;  // overflow buffer full
+    std::uint64_t faults_detected = 0;   // parity mismatches, point of use
+    std::uint64_t faults_recovered = 0;  // restored by the scrub pass
+    std::uint64_t fault_aborted = 0;     // blocks squashed fail-secure
+    std::uint64_t retries = 0;           // driver-reported resubmissions
   };
   const Stats& stats() const { return stats_; }
-  const std::vector<SecurityEvent>& events() const { return events_; }
+  // Zero the counters (long campaigns reset between phases); the cycle
+  // counter, event log, and device state are untouched.
+  void resetStats() { stats_ = Stats{}; }
+  // Driver-side hook: a session retried a failed request.
+  void noteRetry() { ++stats_.retries; }
+
+  const std::deque<SecurityEvent>& events() const { return events_; }
   std::size_t eventCount(SecurityEventKind k) const;
+  std::uint64_t eventsOverflowed() const { return events_overflowed_; }
+  // Detections/recoveries per hardware fault site (campaign reconciliation).
+  const std::array<std::uint64_t, kHwFaultSites>& faultsDetectedBySite() const {
+    return faults_by_site_;
+  }
 
  private:
   struct PendingOutput {
@@ -132,6 +179,22 @@ class AesAccelerator {
   std::optional<StageSlot> arbiterPick();
   void routeCompleted(StageSlot slot, bool to_buffer);
   void drainBuffer();
+
+  // --- Fail-secure machinery -------------------------------------------------
+  bool hardened() const { return cfg_.fault_hardening; }
+  void noteFault(FaultSite site, bool scrubbed, unsigned user,
+                 std::string detail);
+  // Deliver a fault-abort completion record so the request still terminates
+  // in a definite outcome (never a silent drop).
+  void deliverAbort(const StageSlot& slot);
+  // Zeroize a round-key slot and squash every in-flight block referencing
+  // it (their remaining rounds would otherwise read zeroed keys). Returns
+  // the number of squashed blocks.
+  unsigned zeroizeSlotSquash(unsigned slot);
+  // Parity sweep: all stage and scratchpad-tag comparators run every cycle
+  // (parallel hardware); scratchpad cells, round-key slots and config
+  // registers are visited round-robin, one site per cycle.
+  void scrubTick();
 
   AcceleratorConfig cfg_;
   std::vector<Principal> users_;
@@ -151,7 +214,12 @@ class AesAccelerator {
 
   std::uint64_t cycle_ = 0;
   Stats stats_;
-  std::vector<SecurityEvent> events_;
+  std::deque<SecurityEvent> events_;  // ring buffer, capped by event_log_cap
+  std::uint64_t events_overflowed_ = 0;
+  std::array<std::size_t, kSecurityEventKinds> event_counts_{};
+  std::array<std::uint64_t, kHwFaultSites> faults_by_site_{};
+  unsigned scrub_next_ = 0;  // round-robin pointer of the slow scrub ring
+  std::function<void()> tick_hook_;
 };
 
 }  // namespace aesifc::accel

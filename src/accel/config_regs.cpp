@@ -5,11 +5,17 @@
 namespace aesifc::accel {
 
 ConfigRegisters::ConfigRegisters(SecurityMode mode) : mode_{mode} {
-  // Register map of the prototype.
+  // Register map of the prototype. Power-on values are the closed /
+  // least-permissive settings — they double as the fail-secure targets.
   regs_["debug_enable"] = 0;      // debug peripheral gate
   regs_["arbiter_mode"] = 0;      // 0 = fine-grained RR, 1 = coarse-grained
   regs_["out_buf_depth"] = 32;    // overflow buffer high-water mark
   regs_["version"] = 0x20190602;  // read-only identification
+  defaults_ = regs_;
+  for (const auto& [name, v] : regs_) {
+    parity_[name] = parity64(v);
+    names_.push_back(name);
+  }
 }
 
 std::uint32_t ConfigRegisters::read(const std::string& name) const {
@@ -32,6 +38,26 @@ bool ConfigRegisters::write(const std::string& name, std::uint32_t value,
     return false;
   }
   it->second = value;
+  parity_[name] = parity64(value);
+  return true;
+}
+
+bool ConfigRegisters::parityOk(const std::string& name) const {
+  auto it = regs_.find(name);
+  if (it == regs_.end())
+    throw std::out_of_range("ConfigRegisters: no register '" + name + "'");
+  return parity64(it->second) == parity_.at(name);
+}
+
+void ConfigRegisters::restoreDefault(const std::string& name) {
+  regs_.at(name) = defaults_.at(name);
+  parity_.at(name) = parity64(defaults_.at(name));
+}
+
+bool ConfigRegisters::faultFlipBit(const std::string& name, unsigned bit) {
+  auto it = regs_.find(name);
+  if (it == regs_.end() || bit >= 32) return false;
+  it->second ^= 1u << bit;
   return true;
 }
 

@@ -7,8 +7,6 @@ namespace aesifc::accel {
 
 namespace {
 
-constexpr unsigned kTimeoutCycles = 4096;
-
 aes::Block loadBlock(const aes::Bytes& b, std::size_t off) {
   aes::Block out{};
   std::memcpy(out.data(), b.data() + off, 16);
@@ -31,6 +29,18 @@ void incrementCounter(aes::Block& ctr) {
 }
 
 }  // namespace
+
+std::string toString(AccelStatus s) {
+  switch (s) {
+    case AccelStatus::Ok: return "ok";
+    case AccelStatus::Suppressed: return "suppressed";
+    case AccelStatus::Timeout: return "timeout";
+    case AccelStatus::FaultAborted: return "fault-aborted";
+    case AccelStatus::Dropped: return "dropped";
+    case AccelStatus::Rejected: return "rejected";
+  }
+  return "?";
+}
 
 bool loadKeyBytes(AesAccelerator& acc, unsigned user, unsigned slot,
                   unsigned cell_base, const std::vector<std::uint8_t>& key,
@@ -55,87 +65,173 @@ bool loadKey128(AesAccelerator& acc, unsigned user, unsigned slot,
 }
 
 AccelSession::AccelSession(AesAccelerator& acc, unsigned user,
-                           unsigned key_slot)
-    : acc_{acc}, user_{user}, key_slot_{key_slot} {}
+                           unsigned key_slot, SessionOptions opts)
+    : acc_{acc}, user_{user}, key_slot_{key_slot}, opts_{opts} {}
 
-std::optional<std::vector<aes::Block>> AccelSession::runBatch(
+AccelResult<std::vector<aes::Block>> AccelSession::runBatch(
     const std::vector<aes::Block>& blocks, bool decrypt) {
   const std::uint64_t start_cycle = acc_.cycle();
-  std::map<std::uint64_t, std::size_t> order;  // req_id -> index
   std::vector<aes::Block> out(blocks.size());
-  std::size_t submitted = 0;
-  std::size_t done = 0;
-  bool suppressed = false;
 
-  while (done < blocks.size()) {
-    if (submitted < blocks.size()) {
-      BlockRequest req;
-      req.req_id = next_req_++;
-      req.user = user_;
-      req.key_slot = key_slot_;
-      req.decrypt = decrypt;
-      req.data = blocks[submitted];
-      if (acc_.submit(req)) {
-        order[req.req_id] = submitted;
-        ++submitted;
-      }
-    }
-    acc_.tick();
+  // Terminal per-block states. `order` maps every request id ever issued
+  // (across attempts) to its block index; an entry is erased when its
+  // response is consumed, so a duplicated response — or the late original
+  // racing a resubmission — can never be delivered twice.
+  enum class St : std::uint8_t { Pending, Done, Supp, Fail };
+  std::vector<St> st(blocks.size(), St::Pending);
+  std::map<std::uint64_t, std::size_t> order;
+
+  AccelStatus attempt_fail = AccelStatus::Ok;
+  auto drain = [&] {
     while (auto resp = acc_.fetchOutput(user_)) {
       auto it = order.find(resp->req_id);
-      if (it == order.end()) continue;
-      if (resp->suppressed) suppressed = true;
-      out[it->second] = resp->data;
-      ++done;
+      if (it == order.end()) continue;  // unknown / already-consumed id
+      const std::size_t idx = it->second;
+      order.erase(it);
+      if (st[idx] == St::Done || st[idx] == St::Supp) continue;  // stale
+      if (resp->suppressed) {
+        st[idx] = St::Supp;  // security refusal: final, never retried
+      } else if (resp->fault_aborted || resp->dropped) {
+        st[idx] = St::Fail;
+        if (attempt_fail == AccelStatus::Ok) {
+          attempt_fail = resp->fault_aborted ? AccelStatus::FaultAborted
+                                             : AccelStatus::Dropped;
+        }
+      } else {
+        out[idx] = resp->data;
+        st[idx] = St::Done;
+      }
     }
-    if (acc_.cycle() - start_cycle > kTimeoutCycles + blocks.size()) {
-      cycles_used_ += acc_.cycle() - start_cycle;
-      return std::nullopt;  // device wedged (e.g. permanently stalled)
+  };
+  auto finish = [&](AccelStatus verdict) {
+    cycles_used_ += acc_.cycle() - start_cycle;
+    last_status_ = verdict;
+    return verdict;
+  };
+
+  for (unsigned attempt = 0;; ++attempt) {
+    // (Re)open failed blocks and collect this attempt's submission list.
+    std::vector<std::size_t> todo;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      if (st[i] == St::Fail) st[i] = St::Pending;
+      if (st[i] == St::Pending) todo.push_back(i);
+    }
+    attempt_fail = AccelStatus::Ok;
+    std::size_t submitted = 0;
+    const std::uint64_t attempt_start = acc_.cycle();
+    bool timed_out = false;
+    bool rejected = false;
+
+    while (true) {
+      bool any_open = false;
+      for (auto i : todo) {
+        if (st[i] == St::Pending) {
+          any_open = true;
+          break;
+        }
+      }
+      if (!any_open) break;
+      // One submission per cycle; skip blocks a late response from an
+      // earlier attempt already resolved.
+      while (submitted < todo.size() && st[todo[submitted]] != St::Pending)
+        ++submitted;
+      if (submitted < todo.size()) {
+        BlockRequest req;
+        req.req_id = next_req_++;
+        req.user = user_;
+        req.key_slot = key_slot_;
+        req.decrypt = decrypt;
+        req.data = blocks[todo[submitted]];
+        if (acc_.submit(req)) {
+          order[req.req_id] = todo[submitted];
+          ++submitted;
+        } else {
+          rejected = true;  // deterministic refusal (e.g. zeroized slot)
+          break;
+        }
+      }
+      acc_.tick();
+      drain();
+      if (acc_.cycle() - attempt_start >
+          opts_.timeout_cycles + todo.size()) {
+        timed_out = true;  // device wedged (e.g. permanently stalled)
+        break;
+      }
+    }
+
+    if (rejected) return finish(AccelStatus::Rejected);
+
+    bool need_retry = false;
+    for (auto s : st) {
+      if (s == St::Fail || s == St::Pending) {
+        need_retry = true;
+        break;
+      }
+    }
+    if (!need_retry) {
+      for (auto s : st) {
+        if (s == St::Supp) return finish(AccelStatus::Suppressed);
+      }
+      (void)finish(AccelStatus::Ok);
+      return out;
+    }
+
+    const AccelStatus verdict =
+        attempt_fail != AccelStatus::Ok
+            ? attempt_fail
+            : (timed_out ? AccelStatus::Timeout : AccelStatus::FaultAborted);
+    if (attempt >= opts_.max_retries) return finish(verdict);
+
+    // Bounded backoff before the retry; keep draining so in-flight
+    // responses from this attempt are still credited.
+    ++retries_;
+    acc_.noteRetry();
+    const std::uint64_t backoff = opts_.backoff_cycles << attempt;
+    for (std::uint64_t i = 0; i < backoff; ++i) {
+      acc_.tick();
+      drain();
     }
   }
-  cycles_used_ += acc_.cycle() - start_cycle;
-  if (suppressed) return std::nullopt;
-  return out;
 }
 
-std::optional<aes::Block> AccelSession::encryptBlock(const aes::Block& pt) {
+AccelResult<aes::Block> AccelSession::encryptBlock(const aes::Block& pt) {
   auto r = runBatch({pt}, false);
-  if (!r) return std::nullopt;
+  if (!r) return r.status();
   return (*r)[0];
 }
 
-std::optional<aes::Block> AccelSession::decryptBlock(const aes::Block& ct) {
+AccelResult<aes::Block> AccelSession::decryptBlock(const aes::Block& ct) {
   auto r = runBatch({ct}, true);
-  if (!r) return std::nullopt;
+  if (!r) return r.status();
   return (*r)[0];
 }
 
-std::optional<aes::Bytes> AccelSession::ecbEncrypt(const aes::Bytes& data) {
-  if (data.size() % 16 != 0) return std::nullopt;
+AccelResult<aes::Bytes> AccelSession::ecbEncrypt(const aes::Bytes& data) {
+  if (data.size() % 16 != 0) return AccelStatus::Rejected;
   std::vector<aes::Block> blocks(data.size() / 16);
   for (std::size_t i = 0; i < blocks.size(); ++i)
     blocks[i] = loadBlock(data, 16 * i);
   auto r = runBatch(blocks, false);
-  if (!r) return std::nullopt;
+  if (!r) return r.status();
   aes::Bytes out(data.size());
   for (std::size_t i = 0; i < r->size(); ++i) storeBlock(out, 16 * i, (*r)[i]);
   return out;
 }
 
-std::optional<aes::Bytes> AccelSession::ecbDecrypt(const aes::Bytes& data) {
-  if (data.size() % 16 != 0) return std::nullopt;
+AccelResult<aes::Bytes> AccelSession::ecbDecrypt(const aes::Bytes& data) {
+  if (data.size() % 16 != 0) return AccelStatus::Rejected;
   std::vector<aes::Block> blocks(data.size() / 16);
   for (std::size_t i = 0; i < blocks.size(); ++i)
     blocks[i] = loadBlock(data, 16 * i);
   auto r = runBatch(blocks, true);
-  if (!r) return std::nullopt;
+  if (!r) return r.status();
   aes::Bytes out(data.size());
   for (std::size_t i = 0; i < r->size(); ++i) storeBlock(out, 16 * i, (*r)[i]);
   return out;
 }
 
-std::optional<aes::Bytes> AccelSession::ctrCrypt(const aes::Bytes& data,
-                                                 const aes::Iv& nonce) {
+AccelResult<aes::Bytes> AccelSession::ctrCrypt(const aes::Bytes& data,
+                                               const aes::Iv& nonce) {
   const std::size_t nblocks = (data.size() + 15) / 16;
   std::vector<aes::Block> counters(nblocks);
   aes::Block ctr = nonce;
@@ -144,7 +240,7 @@ std::optional<aes::Bytes> AccelSession::ctrCrypt(const aes::Bytes& data,
     incrementCounter(ctr);
   }
   auto ks = runBatch(counters, false);  // keystream, fully pipelined
-  if (!ks) return std::nullopt;
+  if (!ks) return ks.status();
   aes::Bytes out(data.size());
   for (std::size_t i = 0; i < data.size(); ++i) {
     out[i] = data[i] ^ (*ks)[i / 16][i % 16];
@@ -152,14 +248,14 @@ std::optional<aes::Bytes> AccelSession::ctrCrypt(const aes::Bytes& data,
   return out;
 }
 
-std::optional<aes::Bytes> AccelSession::cbcDecrypt(const aes::Bytes& data,
-                                                   const aes::Iv& iv) {
-  if (data.size() % 16 != 0 || data.empty()) return std::nullopt;
+AccelResult<aes::Bytes> AccelSession::cbcDecrypt(const aes::Bytes& data,
+                                                 const aes::Iv& iv) {
+  if (data.size() % 16 != 0 || data.empty()) return AccelStatus::Rejected;
   std::vector<aes::Block> blocks(data.size() / 16);
   for (std::size_t i = 0; i < blocks.size(); ++i)
     blocks[i] = loadBlock(data, 16 * i);
   auto r = runBatch(blocks, true);  // all blocks decrypt in parallel
-  if (!r) return std::nullopt;
+  if (!r) return r.status();
   aes::Bytes out(data.size());
   aes::Block prev = iv;
   for (std::size_t i = 0; i < r->size(); ++i) {
@@ -169,16 +265,16 @@ std::optional<aes::Bytes> AccelSession::cbcDecrypt(const aes::Bytes& data,
   return out;
 }
 
-std::optional<aes::Bytes> AccelSession::cbcEncrypt(const aes::Bytes& data,
-                                                   const aes::Iv& iv) {
-  if (data.size() % 16 != 0) return std::nullopt;
+AccelResult<aes::Bytes> AccelSession::cbcEncrypt(const aes::Bytes& data,
+                                                 const aes::Iv& iv) {
+  if (data.size() % 16 != 0) return AccelStatus::Rejected;
   aes::Bytes out(data.size());
   aes::Block prev = iv;
   // Chained: each block must wait for the previous ciphertext — the
   // pipelined engine degrades to one block per full latency.
   for (std::size_t off = 0; off < data.size(); off += 16) {
     auto ct = encryptBlock(xorBlocks(loadBlock(data, off), prev));
-    if (!ct) return std::nullopt;
+    if (!ct) return ct.status();
     storeBlock(out, off, *ct);
     prev = *ct;
   }

@@ -4,6 +4,16 @@
 // it performs synchronous block operations and block-cipher modes by
 // submitting work and ticking the device until completion.
 //
+// The driver is written for an imperfect device and an imperfect bus: every
+// operation returns an `AccelResult` whose status distinguishes a security
+// refusal (`Suppressed` — never retried) from transient failures
+// (`Timeout`, `FaultAborted`, `Dropped` — retried with bounded backoff when
+// the session is configured for it) and a deterministic refusal at the
+// submit port (`Rejected`, e.g. a zeroized key slot). Duplicated responses
+// are consumed at most once; responses from abandoned attempts are
+// recognized by request id and still credited, so a retry can never
+// double-deliver.
+//
 // The mode helpers also document a real architectural point of pipelined
 // engines: ECB/CTR submit one block per cycle and ride the full 51.2 Gbps
 // pipeline, while CBC encryption is chained and pays the whole 30-cycle
@@ -11,6 +21,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "accel/accelerator.h"
@@ -30,43 +41,100 @@ bool loadKey128(AesAccelerator& acc, unsigned user, unsigned slot,
                 unsigned cell_base, const std::vector<std::uint8_t>& key,
                 lattice::Conf key_conf);
 
+// Outcome of a driver operation. Every submitted request ends in exactly
+// one of these — there is no silent-drop state.
+enum class AccelStatus {
+  Ok,           // all blocks completed and verified deliverable
+  Suppressed,   // the device refused to declassify (security; NOT retryable)
+  Timeout,      // watchdog expired with responses outstanding (retryable)
+  FaultAborted, // squashed by the fail-secure fault path (retryable)
+  Dropped,      // lost to overflow-buffer pressure (retryable)
+  Rejected,     // refused at the submit port (e.g. zeroized key slot)
+};
+
+std::string toString(AccelStatus s);
+
+// Retryable = transient device/bus condition; security refusals and
+// deterministic submit rejections are final.
+constexpr bool isRetryable(AccelStatus s) {
+  return s == AccelStatus::Timeout || s == AccelStatus::FaultAborted ||
+         s == AccelStatus::Dropped;
+}
+
+// Value-or-status result. Mirrors the std::optional surface the driver
+// used to return (`has_value`, `operator*`, `operator->`, bool tests) so
+// existing call sites read unchanged, plus `status()` for the failure kind.
+template <typename T>
+class AccelResult {
+ public:
+  AccelResult(AccelStatus st) : status_{st} {}  // NOLINT: implicit by design
+  AccelResult(T v) : status_{AccelStatus::Ok}, value_{std::move(v)} {}
+
+  AccelStatus status() const { return status_; }
+  bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+  const T& operator*() const { return *value_; }
+  T& operator*() { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+  const T& value() const { return value_.value(); }
+
+ private:
+  AccelStatus status_;
+  std::optional<T> value_;
+};
+
+// Per-session robustness knobs. The defaults reproduce the historical
+// behavior: one attempt, 4096-cycle watchdog, no retries.
+struct SessionOptions {
+  std::uint64_t timeout_cycles = 4096;  // watchdog per attempt
+  unsigned max_retries = 0;       // extra attempts for retryable failures
+  std::uint64_t backoff_cycles = 32;  // idle ticks before retry, doubles per attempt
+};
+
 class AccelSession {
  public:
-  AccelSession(AesAccelerator& acc, unsigned user, unsigned key_slot);
+  AccelSession(AesAccelerator& acc, unsigned user, unsigned key_slot,
+               SessionOptions opts = {});
 
   // Single-block synchronous operations (tick until the response arrives).
-  // Returns nullopt if the device suppressed the output (declassification
-  // refused) or never answered within the timeout.
-  std::optional<aes::Block> encryptBlock(const aes::Block& pt);
-  std::optional<aes::Block> decryptBlock(const aes::Block& ct);
+  AccelResult<aes::Block> encryptBlock(const aes::Block& pt);
+  AccelResult<aes::Block> decryptBlock(const aes::Block& ct);
 
   // Pipelined modes: one submission per cycle, all blocks in flight.
-  std::optional<aes::Bytes> ecbEncrypt(const aes::Bytes& data);
-  std::optional<aes::Bytes> ecbDecrypt(const aes::Bytes& data);
-  std::optional<aes::Bytes> ctrCrypt(const aes::Bytes& data,
-                                     const aes::Iv& nonce);
+  AccelResult<aes::Bytes> ecbEncrypt(const aes::Bytes& data);
+  AccelResult<aes::Bytes> ecbDecrypt(const aes::Bytes& data);
+  AccelResult<aes::Bytes> ctrCrypt(const aes::Bytes& data,
+                                   const aes::Iv& nonce);
   // CBC decryption is parallel (each block's chain input is ciphertext).
-  std::optional<aes::Bytes> cbcDecrypt(const aes::Bytes& data,
-                                       const aes::Iv& iv);
+  AccelResult<aes::Bytes> cbcDecrypt(const aes::Bytes& data,
+                                     const aes::Iv& iv);
   // CBC encryption is serial: each block waits for the previous one.
-  std::optional<aes::Bytes> cbcEncrypt(const aes::Bytes& data,
-                                       const aes::Iv& iv);
+  AccelResult<aes::Bytes> cbcEncrypt(const aes::Bytes& data,
+                                     const aes::Iv& iv);
 
   // Device cycles consumed by this session's synchronous calls.
   std::uint64_t cyclesUsed() const { return cycles_used_; }
   unsigned user() const { return user_; }
+  // Status of the most recent operation and retry telemetry.
+  AccelStatus lastStatus() const { return last_status_; }
+  std::uint64_t retries() const { return retries_; }
 
  private:
   // Submit `blocks` (optionally XORed against `chain` upstream by caller),
-  // pipelined, and collect responses in submission order.
-  std::optional<std::vector<aes::Block>> runBatch(
+  // pipelined, and collect responses in submission order — resubmitting
+  // failed blocks up to the retry budget.
+  AccelResult<std::vector<aes::Block>> runBatch(
       const std::vector<aes::Block>& blocks, bool decrypt);
 
   AesAccelerator& acc_;
   unsigned user_;
   unsigned key_slot_;
+  SessionOptions opts_;
   std::uint64_t next_req_ = 1;
   std::uint64_t cycles_used_ = 0;
+  std::uint64_t retries_ = 0;
+  AccelStatus last_status_ = AccelStatus::Ok;
 };
 
 }  // namespace aesifc::accel

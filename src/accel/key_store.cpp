@@ -8,7 +8,10 @@ void KeyScratchpad::configureCells(unsigned base, unsigned count,
                                    const Label& l) {
   if (base + count > kScratchpadCells)
     throw std::out_of_range("configureCells: range exceeds scratchpad");
-  for (unsigned i = 0; i < count; ++i) tags_[base + i] = l;
+  for (unsigned i = 0; i < count; ++i) {
+    tags_[base + i] = l;
+    tag_parity_[base + i] = labelParity(l);
+  }
 }
 
 bool KeyScratchpad::writeCell(unsigned idx, std::uint64_t value,
@@ -20,6 +23,7 @@ bool KeyScratchpad::writeCell(unsigned idx, std::uint64_t value,
     return false;
   }
   cells_[idx] = value;
+  cell_parity_[idx] = parity64(value);
   return true;
 }
 
@@ -35,6 +39,42 @@ std::optional<std::uint64_t> KeyScratchpad::readCell(
   return cells_[idx];
 }
 
+bool KeyScratchpad::cellParityOk(unsigned idx) const {
+  return parity64(cells_.at(idx)) == cell_parity_.at(idx);
+}
+
+bool KeyScratchpad::tagParityOk(unsigned idx) const {
+  return labelParity(tags_.at(idx)) == tag_parity_.at(idx);
+}
+
+void KeyScratchpad::failSecure(unsigned idx) {
+  cells_.at(idx) = 0;
+  cell_parity_.at(idx) = false;
+  // Quarantine: unreadable by everyone (top confidentiality); a corrupted
+  // tag must only ever fail upward, never toward public.
+  tags_.at(idx) = Label{lattice::Conf::top(), lattice::Integ::bottom()};
+  tag_parity_.at(idx) = labelParity(tags_.at(idx));
+}
+
+bool KeyScratchpad::faultFlipCellBit(unsigned idx, unsigned bit) {
+  if (idx >= kScratchpadCells || bit >= 64) return false;
+  cells_[idx] ^= std::uint64_t{1} << bit;
+  return true;
+}
+
+bool KeyScratchpad::faultFlipTagBit(unsigned idx, unsigned bit) {
+  if (idx >= kScratchpadCells || bit >= 32) return false;
+  Label& t = tags_[idx];
+  if (bit < 16) {
+    t.c = lattice::Conf{lattice::CatSet{
+        static_cast<std::uint16_t>(t.c.cats.mask() ^ (1u << bit))}};
+  } else {
+    t.i = lattice::Integ{lattice::CatSet{
+        static_cast<std::uint16_t>(t.i.cats.mask() ^ (1u << (bit - 16)))}};
+  }
+  return true;
+}
+
 void RoundKeyRam::store(unsigned slot, aes::ExpandedKey key,
                         lattice::Conf key_conf, const Label& owner) {
   auto& s = slots_.at(slot);
@@ -42,8 +82,37 @@ void RoundKeyRam::store(unsigned slot, aes::ExpandedKey key,
   s.key = std::move(key);
   s.key_conf = key_conf;
   s.owner = owner;
+  parity_.at(slot) = computeParity(s);
 }
 
-void RoundKeyRam::clear(unsigned slot) { slots_.at(slot) = KeySlot{}; }
+void RoundKeyRam::clear(unsigned slot) {
+  slots_.at(slot) = KeySlot{};
+  parity_.at(slot) = computeParity(slots_.at(slot));
+}
+
+bool RoundKeyRam::computeParity(const KeySlot& s) const {
+  std::uint64_t acc = 0;
+  for (const auto& rk : s.key.round_keys) {
+    for (unsigned b = 0; b < 16; ++b) acc ^= static_cast<std::uint64_t>(rk[b])
+                                             << (8 * (b % 8));
+  }
+  acc ^= static_cast<std::uint64_t>(s.key_conf.cats.mask());
+  acc ^= static_cast<std::uint64_t>(s.owner.c.cats.mask()) << 16;
+  acc ^= static_cast<std::uint64_t>(s.owner.i.cats.mask()) << 32;
+  return parity64(acc) != s.valid;  // fold validity in so clear() differs
+}
+
+bool RoundKeyRam::slotParityOk(unsigned slot) const {
+  return computeParity(slots_.at(slot)) == parity_.at(slot);
+}
+
+bool RoundKeyRam::faultFlipKeyBit(unsigned slot, unsigned round, unsigned byte,
+                                  unsigned bit) {
+  auto& s = slots_.at(slot % kRoundKeySlots);
+  if (!s.valid || bit >= 8 || byte >= 16) return false;
+  if (round >= s.key.round_keys.size()) return false;
+  s.key.round_keys[round][byte] ^= static_cast<std::uint8_t>(1u << bit);
+  return true;
+}
 
 }  // namespace aesifc::accel

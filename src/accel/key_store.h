@@ -46,10 +46,29 @@ class KeyScratchpad {
   std::uint64_t rawCell(unsigned idx) const { return cells_.at(idx); }
   const Label& cellLabel(unsigned idx) const { return tags_.at(idx); }
 
+  // --- Fail-secure hardening -------------------------------------------------
+  // Each cell stores a parity bit over its data and one over its tag,
+  // written together with the protected state. A single-event upset flips
+  // state without updating parity, so any single flip is detectable.
+  bool cellParityOk(unsigned idx) const;
+  bool tagParityOk(unsigned idx) const;
+  // Fail-secure response to a parity mismatch: zeroize the cell and force
+  // its tag *upward* to the quarantine point (top confidentiality, bottom
+  // integrity) so a corrupted tag can never declassify the cell. The cell
+  // stays quarantined until the arbiter re-runs configureCells.
+  void failSecure(unsigned idx);
+
+  // Fault-injection ports (model single-event upsets; parity is *not*
+  // updated). Return false when the target does not exist.
+  bool faultFlipCellBit(unsigned idx, unsigned bit);
+  bool faultFlipTagBit(unsigned idx, unsigned bit);  // bit 0..31 over (c,i)
+
  private:
   SecurityMode mode_;
   std::array<std::uint64_t, kScratchpadCells> cells_{};
   std::array<Label, kScratchpadCells> tags_{};
+  std::array<bool, kScratchpadCells> cell_parity_{};
+  std::array<bool, kScratchpadCells> tag_parity_{};
 };
 
 // One expanded key with its security metadata.
@@ -75,8 +94,22 @@ class RoundKeyRam {
   }
   unsigned rounds(unsigned slot) const { return slots_.at(slot).key.rounds(); }
 
+  // --- Fail-secure hardening -------------------------------------------------
+  // One parity bit per slot over the whole expanded key plus its security
+  // metadata, written at store() time. A flipped key or metadata bit is
+  // detected at the next submit or scrub visit; the fail-secure response
+  // (zeroization) is driven by the accelerator, which also has to squash
+  // in-flight blocks referencing the slot.
+  bool slotParityOk(unsigned slot) const;
+
+  bool faultFlipKeyBit(unsigned slot, unsigned round, unsigned byte,
+                       unsigned bit);
+
  private:
+  bool computeParity(const KeySlot& s) const;
+
   std::array<KeySlot, kRoundKeySlots> slots_{};
+  std::array<bool, kRoundKeySlots> parity_{};
 };
 
 }  // namespace aesifc::accel

@@ -24,6 +24,51 @@ unsigned AesPipeline::validCount() const {
   return n;
 }
 
+bool stateParity(const aes::State& s) {
+  std::uint8_t acc = 0;
+  for (auto b : s) acc ^= b;
+  return parity64(acc);
+}
+
+void stampParity(StageSlot& s) {
+  s.data_parity = stateParity(s.state);
+  s.tag_parity = labelParity(s.tag);
+}
+
+bool AesPipeline::stageParityOk(unsigned i) const {
+  const StageSlot& s = stages_.at(i);
+  if (!s.valid) return true;
+  return s.data_parity == stateParity(s.state) &&
+         s.tag_parity == labelParity(s.tag);
+}
+
+void AesPipeline::squash(unsigned i) {
+  StageSlot& s = stages_.at(i);
+  s = StageSlot{};
+  stampParity(s);
+}
+
+bool AesPipeline::faultFlipStageDataBit(unsigned stage, unsigned bit) {
+  StageSlot& s = stages_.at(stage % stages_.size());
+  if (!s.valid || bit >= 128) return false;
+  s.state[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  return true;
+}
+
+bool AesPipeline::faultFlipStageTagBit(unsigned stage, unsigned bit) {
+  StageSlot& s = stages_.at(stage % stages_.size());
+  if (!s.valid || bit >= 32) return false;
+  Label& t = s.tag;
+  if (bit < 16) {
+    t.c = lattice::Conf{lattice::CatSet{
+        static_cast<std::uint16_t>(t.c.cats.mask() ^ (1u << bit))}};
+  } else {
+    t.i = lattice::Integ{lattice::CatSet{
+        static_cast<std::uint16_t>(t.i.cats.mask() ^ (1u << (bit - 16)))}};
+  }
+  return true;
+}
+
 lattice::Conf AesPipeline::meetConf() const {
   lattice::Conf m = lattice::Conf::top();  // identity of the meet
   for (const auto& s : stages_) {
@@ -37,6 +82,7 @@ StageSlot AesPipeline::applyEntry(StageSlot s) const {
   const unsigned n = s.total_rounds;
   const auto& rk = keys_.roundKey(s.key_slot, s.decrypt ? n : 0);
   aes::addRoundKey(s.state, rk);
+  s.data_parity = stateParity(s.state);
   return s;
 }
 
@@ -74,6 +120,10 @@ StageSlot AesPipeline::compute(unsigned idx, StageSlot s) const {
         break;
     }
   }
+  // The stage register writes its parity bit together with the data; a
+  // fault flips the register *after* the write and is caught at the next
+  // parity check.
+  s.data_parity = stateParity(s.state);
   return s;
 }
 

@@ -27,7 +27,18 @@ struct StageSlot {
   unsigned user = 0;
   std::uint64_t accept_cycle = 0;
   Label tag{};  // per-stage security tag (Fig. 7)
+  // Hardening: parity over the stage data register (rewritten by each
+  // stage's datapath together with the data) and over the tag register
+  // (written once at acceptance; tags are immutable in flight).
+  bool data_parity = false;
+  bool tag_parity = false;
 };
+
+// Parity over a 16-byte AES state — the per-stage data parity bit.
+bool stateParity(const aes::State& s);
+
+// (Re)stamp both parity bits from the slot's current contents.
+void stampParity(StageSlot& s);
 
 class AesPipeline {
  public:
@@ -40,6 +51,18 @@ class AesPipeline {
   unsigned validCount() const;
   const StageSlot& stage(unsigned i) const { return stages_.at(i); }
   const StageSlot& finalStage() const { return stages_.back(); }
+
+  // --- Fail-secure hardening -------------------------------------------------
+  // True when the stage is empty or both parity bits match its contents.
+  bool stageParityOk(unsigned i) const;
+  // Squash a stage: zeroize the data register and invalidate the slot (the
+  // block is aborted; the accelerator reports the outcome to its user).
+  void squash(unsigned i);
+
+  // Fault-injection ports (flip without restamping parity). Return false
+  // when the stage is empty.
+  bool faultFlipStageDataBit(unsigned stage, unsigned bit);   // bit 0..127
+  bool faultFlipStageTagBit(unsigned stage, unsigned bit);    // bit 0..31
 
   // Meet (greatest lower bound in the confidentiality order) over the tags
   // of all occupied stages — the Fig. 8 stall-gating value. Top when empty.

@@ -17,6 +17,24 @@ std::string toString(SecurityEventKind k) {
     case SecurityEventKind::OutputBufferOverflow:
       return "output-buffer-overflow";
     case SecurityEventKind::KeySlotBlocked: return "key-slot-blocked";
+    case SecurityEventKind::FaultDetected: return "fault-detected";
+    case SecurityEventKind::FaultScrubbed: return "fault-scrubbed";
+  }
+  return "?";
+}
+
+std::string toString(FaultSite s) {
+  switch (s) {
+    case FaultSite::StageData: return "stage-data";
+    case FaultSite::StageTag: return "stage-tag";
+    case FaultSite::ScratchCell: return "scratch-cell";
+    case FaultSite::ScratchTag: return "scratch-tag";
+    case FaultSite::RoundKey: return "round-key";
+    case FaultSite::ConfigReg: return "config-reg";
+    case FaultSite::HostDrop: return "host-drop";
+    case FaultSite::HostDuplicate: return "host-duplicate";
+    case FaultSite::HostStuckReceiver: return "host-stuck-receiver";
+    case FaultSite::HostSpuriousSubmit: return "host-spurious-submit";
   }
   return "?";
 }

@@ -30,9 +30,50 @@ enum class SecurityEventKind {
   StallDenied,
   OutputBufferOverflow,
   KeySlotBlocked,
+  FaultDetected,   // parity mismatch caught at point of use; fail-secure
+  FaultScrubbed,   // parity mismatch caught by the background scrub pass
 };
 
+inline constexpr unsigned kSecurityEventKinds = 10;
+
 std::string toString(SecurityEventKind k);
+
+// Hardware fault-injection sites (the state a single-event upset can hit)
+// plus the host-interface perturbations the fault campaigns exercise.
+enum class FaultSite {
+  StageData,     // pipeline stage data register
+  StageTag,      // pipeline stage tag register (Fig. 7)
+  ScratchCell,   // key scratchpad data cell (Fig. 5)
+  ScratchTag,    // key scratchpad tag array (Fig. 5)
+  RoundKey,      // round-key RAM word
+  ConfigReg,     // configuration register (Section 3.2.4)
+  HostDrop,      // response lost on the host interface
+  HostDuplicate, // response replayed on the host interface
+  HostStuckReceiver,   // receiver-ready deasserted and held
+  HostSpuriousSubmit,  // garbage request injected at the submit port
+};
+
+inline constexpr unsigned kHwFaultSites = 6;  // first 6 enumerators
+
+std::string toString(FaultSite s);
+
+// Even-parity bit over a 64-bit word (the per-cell / per-register parity
+// the hardened design stores alongside protected state).
+constexpr bool parity64(std::uint64_t v) {
+  v ^= v >> 32;
+  v ^= v >> 16;
+  v ^= v >> 8;
+  v ^= v >> 4;
+  v ^= v >> 2;
+  v ^= v >> 1;
+  return (v & 1) != 0;
+}
+
+// Parity over both category masks of a label — the tag-array parity bit.
+inline bool labelParity(const Label& l) {
+  return parity64(static_cast<std::uint64_t>(l.c.cats.mask()) |
+                  (static_cast<std::uint64_t>(l.i.cats.mask()) << 16));
+}
 
 struct SecurityEvent {
   SecurityEventKind kind;
@@ -60,6 +101,8 @@ struct BlockResponse {
   std::uint64_t accept_cycle = 0;    // cycle the pipeline accepted it
   std::uint64_t complete_cycle = 0;  // cycle it exited (or left the buffer)
   bool suppressed = false;  // protected mode refused to declassify the output
+  bool fault_aborted = false;  // squashed by the fail-secure fault path
+  bool dropped = false;        // overflow buffer full; completion record only
 };
 
 }  // namespace aesifc::accel

@@ -1,0 +1,181 @@
+#include "soc/fault_injector.h"
+
+#include <sstream>
+
+namespace aesifc::soc {
+
+using accel::FaultSite;
+
+FaultInjector::FaultInjector(accel::AesAccelerator& acc,
+                             FaultCampaignConfig cfg,
+                             std::vector<unsigned> users)
+    : acc_{acc}, cfg_{cfg}, users_{std::move(users)}, rng_{cfg.seed} {}
+
+void FaultInjector::tick() {
+  // Release receivers whose stuck window has expired.
+  for (auto it = stuck_.begin(); it != stuck_.end();) {
+    if (acc_.cycle() >= it->second) {
+      acc_.setReceiverReady(it->first, true);
+      it = stuck_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!rng_.chance(cfg_.fault_rate)) return;
+  const bool hw = cfg_.hw_faults && (!cfg_.host_faults || rng_.chance(0.7));
+  if (hw) {
+    injectHw();
+  } else if (cfg_.host_faults) {
+    injectHost();
+  }
+}
+
+void FaultInjector::injectHw() {
+  FaultRecord rec;
+  rec.cycle = acc_.cycle();
+  rec.site = static_cast<FaultSite>(rng_.below(accel::kHwFaultSites));
+  switch (rec.site) {
+    case FaultSite::StageData:
+    case FaultSite::StageTag:
+      rec.index = static_cast<unsigned>(rng_.below(acc_.pipeline().depth()));
+      rec.bit = static_cast<unsigned>(
+          rng_.below(rec.site == FaultSite::StageData ? 128 : 32));
+      break;
+    case FaultSite::ScratchCell:
+    case FaultSite::ScratchTag:
+      rec.index = static_cast<unsigned>(rng_.below(accel::kScratchpadCells));
+      rec.bit = static_cast<unsigned>(
+          rng_.below(rec.site == FaultSite::ScratchCell ? 64 : 32));
+      break;
+    case FaultSite::RoundKey:
+      rec.index = static_cast<unsigned>(rng_.below(accel::kRoundKeySlots));
+      // round*128 + byte*8 + bit, rounds limited to the AES-128 schedule so
+      // most rolls land on real state.
+      rec.bit = static_cast<unsigned>(rng_.below(11) * 128 + rng_.below(128));
+      break;
+    case FaultSite::ConfigReg:
+      rec.index = static_cast<unsigned>(rng_.below(4));
+      rec.bit = static_cast<unsigned>(rng_.below(32));
+      break;
+    default:
+      return;
+  }
+  rec.applied = acc_.injectFault(rec.site, rec.index, rec.bit);
+  ++injected_;
+  records_.push_back(rec);
+}
+
+void FaultInjector::injectHost() {
+  if (users_.empty()) return;
+  const unsigned user =
+      users_[static_cast<std::size_t>(rng_.below(users_.size()))];
+  FaultRecord rec;
+  rec.cycle = acc_.cycle();
+  rec.index = user;
+  switch (rng_.below(4)) {
+    case 0:
+      rec.site = FaultSite::HostDrop;
+      rec.applied = acc_.injectDropOutput(user);
+      if (rec.applied) ++host_drops_;
+      break;
+    case 1:
+      rec.site = FaultSite::HostDuplicate;
+      rec.applied = acc_.injectDuplicateOutput(user);
+      if (rec.applied) ++host_duplicates_;
+      break;
+    case 2: {
+      rec.site = FaultSite::HostStuckReceiver;
+      acc_.setReceiverReady(user, false);
+      stuck_.emplace_back(user, acc_.cycle() + cfg_.stuck_cycles);
+      rec.applied = true;
+      ++host_stuck_;
+      break;
+    }
+    default: {
+      rec.site = FaultSite::HostSpuriousSubmit;
+      accel::BlockRequest req;
+      // Ids in a reserved high range so no driver request is ever aliased.
+      req.req_id = 0xF000000000000000ULL + spurious_seq_++;
+      req.user = user;
+      req.key_slot = static_cast<unsigned>(rng_.below(accel::kRoundKeySlots + 2));
+      req.decrypt = rng_.chance(0.5);
+      for (auto& b : req.data) b = static_cast<std::uint8_t>(rng_.next());
+      rec.applied = acc_.submit(req);
+      ++host_spurious_;
+      break;
+    }
+  }
+  ++injected_;
+  records_.push_back(rec);
+}
+
+void FaultInjector::releaseStuckReceivers() {
+  for (const auto& [user, until] : stuck_) {
+    (void)until;
+    acc_.setReceiverReady(user, true);
+  }
+  stuck_.clear();
+}
+
+FaultCampaignReport FaultInjector::report() const {
+  FaultCampaignReport r;
+  r.records = records_;
+  r.injected = injected_;
+  r.host_drops = host_drops_;
+  r.host_duplicates = host_duplicates_;
+  r.host_stuck = host_stuck_;
+  r.host_spurious = host_spurious_;
+  for (const auto& rec : records_) {
+    const auto s = static_cast<unsigned>(rec.site);
+    if (s < accel::kHwFaultSites) {
+      ++r.injected_by_site[s];
+      if (rec.applied) {
+        ++r.applied_by_site[s];
+        ++r.applied;
+      }
+    }
+  }
+  r.detected_by_site = acc_.faultsDetectedBySite();
+  const auto& st = acc_.stats();
+  r.detected = st.faults_detected;
+  r.recovered = st.faults_recovered;
+  r.aborted = st.fault_aborted;
+  return r;
+}
+
+std::string FaultCampaignReport::summary() const {
+  std::ostringstream os;
+  os << "campaign: " << injected << " events, " << applied
+     << " hardware upsets applied, " << detected << " detected ("
+     << recovered << " recovered, " << aborted << " blocks aborted), host: "
+     << host_drops << " drops / " << host_duplicates << " duplicates / "
+     << host_stuck << " stuck-receiver / " << host_spurious << " spurious\n";
+  for (unsigned s = 0; s < accel::kHwFaultSites; ++s) {
+    os << "  " << toString(static_cast<FaultSite>(s)) << ": injected "
+       << injected_by_site[s] << ", applied " << applied_by_site[s]
+       << ", detected " << detected_by_site[s] << ", escaped " << escaped(s)
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string FaultCampaignReport::toJson() const {
+  std::ostringstream os;
+  os << "{\"injected\":" << injected << ",\"applied\":" << applied
+     << ",\"detected\":" << detected << ",\"recovered\":" << recovered
+     << ",\"aborted\":" << aborted << ",\"host\":{\"drops\":" << host_drops
+     << ",\"duplicates\":" << host_duplicates << ",\"stuck\":" << host_stuck
+     << ",\"spurious\":" << host_spurious << "},\"sites\":[";
+  for (unsigned s = 0; s < accel::kHwFaultSites; ++s) {
+    if (s) os << ",";
+    os << "{\"site\":\"" << toString(static_cast<FaultSite>(s))
+       << "\",\"injected\":" << injected_by_site[s]
+       << ",\"applied\":" << applied_by_site[s]
+       << ",\"detected\":" << detected_by_site[s]
+       << ",\"escaped\":" << escaped(s) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace aesifc::soc

@@ -1,0 +1,109 @@
+#pragma once
+// Seeded fault-injection campaigns against the accelerator: single-event
+// upsets (one bit flip per event) in the pipeline stage data/tag registers,
+// the key scratchpad and its tag array, the round-key RAM and the config
+// registers, plus host-interface perturbations (dropped or duplicated
+// responses, a receiver that goes stuck-not-ready, spurious submits from a
+// confused or malicious bus master).
+//
+// The injector sits between clock edges: either register it with
+// `acc.setTickHook([&]{ inj.tick(); })` (works even when an AccelSession
+// owns the clock) or call `tick()` manually between `acc.tick()` calls.
+// At most one fault lands per cycle, so the per-cycle
+// scrub rings in the hardened accelerator see every upset before a second
+// one can mask it. Every event is recorded; `report()` reconciles the
+// injection log against the accelerator's detection counters so a campaign
+// ends with a per-site injected / detected / recovered / escaped table.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "common/rng.h"
+
+namespace aesifc::soc {
+
+struct FaultCampaignConfig {
+  std::uint64_t seed = 1;
+  double fault_rate = 0.01;    // per-cycle probability of one fault event
+  bool hw_faults = true;       // bit flips in device state
+  bool host_faults = true;     // interface perturbations
+  unsigned stuck_cycles = 48;  // receiver-not-ready hold time
+};
+
+struct FaultRecord {
+  std::uint64_t cycle = 0;
+  accel::FaultSite site{};
+  unsigned index = 0;  // stage / cell / slot / register / user
+  unsigned bit = 0;
+  bool applied = false;  // false: target empty or out of range, no state hit
+};
+
+// End-of-campaign reconciliation. `injected`/`applied` come from the
+// injector's own log; `detected`/`recovered`/`aborted` are read back from
+// the accelerator. `escaped[site]` is the number of applied upsets at a
+// hardware site the device never noticed — the fail-secure goal is zero for
+// the tag arrays (fast scrub ring) and zero-after-settling for the slow
+// ring sites.
+struct FaultCampaignReport {
+  std::vector<FaultRecord> records;
+  std::array<std::uint64_t, accel::kHwFaultSites> injected_by_site{};
+  std::array<std::uint64_t, accel::kHwFaultSites> applied_by_site{};
+  std::array<std::uint64_t, accel::kHwFaultSites> detected_by_site{};
+  std::uint64_t injected = 0;
+  std::uint64_t applied = 0;
+  std::uint64_t host_drops = 0;
+  std::uint64_t host_duplicates = 0;
+  std::uint64_t host_stuck = 0;
+  std::uint64_t host_spurious = 0;
+  std::uint64_t detected = 0;   // accelerator parity detections
+  std::uint64_t recovered = 0;  // scrubbed with no request casualties
+  std::uint64_t aborted = 0;    // blocks squashed fail-secure
+
+  std::uint64_t escaped(unsigned site) const {
+    const auto a = applied_by_site[site];
+    const auto d = detected_by_site[site];
+    return a > d ? a - d : 0;
+  }
+  std::string summary() const;
+  std::string toJson() const;
+};
+
+class FaultInjector {
+ public:
+  // `users` are the host-interface targets for drop/duplicate/stuck-ready
+  // perturbations and the principals impersonated by spurious submits.
+  FaultInjector(accel::AesAccelerator& acc, FaultCampaignConfig cfg,
+                std::vector<unsigned> users);
+
+  // Roll for (at most) one fault this cycle. Call before acc.tick().
+  void tick();
+  // Restore any receiver lines the injector is currently holding down
+  // (call when the campaign's fault phase ends, before draining).
+  void releaseStuckReceivers();
+
+  std::uint64_t injected() const { return injected_; }
+  FaultCampaignReport report() const;
+
+ private:
+  void injectHw();
+  void injectHost();
+
+  accel::AesAccelerator& acc_;
+  FaultCampaignConfig cfg_;
+  std::vector<unsigned> users_;
+  Rng rng_;
+  std::vector<FaultRecord> records_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t host_drops_ = 0;
+  std::uint64_t host_duplicates_ = 0;
+  std::uint64_t host_stuck_ = 0;
+  std::uint64_t host_spurious_ = 0;
+  std::uint64_t spurious_seq_ = 0;
+  // (user, release_cycle) for receivers currently forced not-ready.
+  std::vector<std::pair<unsigned, std::uint64_t>> stuck_;
+};
+
+}  // namespace aesifc::soc

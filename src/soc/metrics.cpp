@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <map>
+#include <sstream>
 
 namespace aesifc::soc {
 
@@ -67,6 +68,18 @@ LatencyStats latencyStats(const std::vector<std::uint64_t>& samples) {
   }
   s.stddev = std::sqrt(var / static_cast<double>(samples.size()));
   return s;
+}
+
+std::string RobustnessStats::toJson() const {
+  std::ostringstream os;
+  os << "{\"faults_injected\":" << faults_injected
+     << ",\"faults_detected\":" << faults_detected
+     << ",\"faults_recovered\":" << faults_recovered
+     << ",\"fault_aborts\":" << fault_aborts << ",\"retries\":" << retries
+     << ",\"timeouts\":" << timeouts << ",\"drops\":" << drops
+     << ",\"detection_rate\":" << detectionRate()
+     << ",\"recovery_rate\":" << recoveryRate() << "}";
+  return os.str();
 }
 
 }  // namespace aesifc::soc

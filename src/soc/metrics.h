@@ -5,6 +5,7 @@
 // statistics.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace aesifc::soc {
@@ -26,5 +27,35 @@ struct LatencyStats {
 };
 
 LatencyStats latencyStats(const std::vector<std::uint64_t>& samples);
+
+// Robustness scorecard for a fault campaign: the accelerator's fault
+// counters plus the driver's retry telemetry, with the derived rates the
+// experiments report. Deliberately decoupled from the accelerator types so
+// reports can be aggregated across runs.
+struct RobustnessStats {
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_detected = 0;
+  std::uint64_t faults_recovered = 0;
+  std::uint64_t fault_aborts = 0;   // blocks squashed fail-secure
+  std::uint64_t retries = 0;        // driver resubmissions
+  std::uint64_t timeouts = 0;       // watchdog expiries
+  std::uint64_t drops = 0;          // overflow / bus losses
+
+  // Detected / injected; 1.0 for a quiet (fault-free) run.
+  double detectionRate() const {
+    return faults_injected == 0
+               ? 1.0
+               : static_cast<double>(faults_detected) /
+                     static_cast<double>(faults_injected);
+  }
+  // Recovered / detected; 1.0 when nothing was detected.
+  double recoveryRate() const {
+    return faults_detected == 0
+               ? 1.0
+               : static_cast<double>(faults_recovered) /
+                     static_cast<double>(faults_detected);
+  }
+  std::string toJson() const;
+};
 
 }  // namespace aesifc::soc

@@ -1,0 +1,173 @@
+// Driver failure-path tests: the watchdog turns a wedged device into a
+// Timeout (never a hang, never a misreported security refusal), duplicated
+// responses are consumed at most once, dropped responses are recovered by
+// bounded retry without double delivery, and non-retryable outcomes
+// (Suppressed, Rejected) are final on the first attempt.
+
+#include <gtest/gtest.h>
+
+#include "accel/driver.h"
+#include "aes/cipher.h"
+
+namespace aesifc::accel {
+namespace {
+
+using lattice::Conf;
+using lattice::Principal;
+
+std::vector<std::uint8_t> testKey() {
+  std::vector<std::uint8_t> k(16);
+  for (unsigned i = 0; i < 16; ++i) k[i] = static_cast<std::uint8_t>(0xa0 + i);
+  return k;
+}
+
+struct Rig {
+  AesAccelerator acc{AcceleratorConfig{}};
+  unsigned sup;
+  unsigned alice;
+  aes::ExpandedKey golden = aes::expandKey(testKey(), aes::KeySize::Aes128);
+
+  Rig() {
+    sup = acc.addUser(Principal::supervisor());
+    alice = acc.addUser(Principal::user("alice", 1));
+    EXPECT_TRUE(loadKey128(acc, alice, 1, 0, testKey(), Conf::category(1)));
+  }
+};
+
+TEST(DriverRobustness, ReceiverNeverReadyTimesOutInsteadOfHanging) {
+  Rig r;
+  r.acc.setReceiverReady(r.alice, false);
+  SessionOptions opts;
+  opts.timeout_cycles = 400;
+  AccelSession s{r.acc, r.alice, 1, opts};
+  const std::uint64_t before = r.acc.cycle();
+  const auto res = s.encryptBlock(aes::Block{});
+  EXPECT_FALSE(res.has_value());
+  EXPECT_EQ(res.status(), AccelStatus::Timeout);  // not Suppressed
+  EXPECT_EQ(s.retries(), 0u);
+  // The watchdog bounded the wait.
+  EXPECT_LE(r.acc.cycle() - before, 500u);
+}
+
+TEST(DriverRobustness, RetryAfterTimeoutDeliversExactlyOnce) {
+  Rig r;
+  r.acc.setReceiverReady(r.alice, false);
+  SessionOptions opts;
+  opts.timeout_cycles = 150;
+  opts.max_retries = 2;
+  opts.backoff_cycles = 8;
+  AccelSession s{r.acc, r.alice, 1, opts};
+  // The receiver recovers mid-call: the first attempt's response is then
+  // delivered while the retry's duplicate request may also be in flight.
+  r.acc.setTickHook([&] {
+    if (r.acc.cycle() == 200) r.acc.setReceiverReady(r.alice, true);
+  });
+  aes::Block pt;
+  for (auto& b : pt) b = 0x21;
+  const auto res = s.encryptBlock(pt);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(*res, aes::encryptBlock(pt, r.golden));
+  EXPECT_GE(s.retries(), 1u);
+  EXPECT_EQ(s.lastStatus(), AccelStatus::Ok);
+  r.acc.setTickHook(nullptr);
+  // The abandoned duplicate must not contaminate the next operation.
+  aes::Block pt2;
+  for (auto& b : pt2) b = 0x22;
+  const auto res2 = s.encryptBlock(pt2);
+  ASSERT_TRUE(res2.has_value());
+  EXPECT_EQ(*res2, aes::encryptBlock(pt2, r.golden));
+}
+
+TEST(DriverRobustness, DuplicatedResponseConsumedAtMostOnce) {
+  Rig r;
+  AccelSession s{r.acc, r.alice, 1};
+  bool duplicated = false;
+  r.acc.setTickHook([&] {
+    if (!duplicated && r.acc.pendingOutputs(r.alice) > 0) {
+      ASSERT_TRUE(r.acc.injectDuplicateOutput(r.alice));
+      duplicated = true;
+    }
+  });
+  aes::Block pt;
+  for (auto& b : pt) b = 0x42;
+  const auto ct = s.encryptBlock(pt);
+  ASSERT_TRUE(ct.has_value());
+  EXPECT_EQ(*ct, aes::encryptBlock(pt, r.golden));
+  EXPECT_TRUE(duplicated);
+  r.acc.setTickHook(nullptr);
+  // The surviving duplicate is ignored by request id; the next operation
+  // still pairs with its own response.
+  const auto rt = s.decryptBlock(*ct);
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_EQ(*rt, pt);
+}
+
+TEST(DriverRobustness, DroppedResponseRecoveredByRetryWithoutDuplicate) {
+  Rig r;
+  SessionOptions opts;
+  opts.timeout_cycles = 120;
+  opts.max_retries = 2;
+  opts.backoff_cycles = 4;
+  AccelSession s{r.acc, r.alice, 1, opts};
+  unsigned drops = 0;
+  r.acc.setTickHook([&] {
+    if (drops == 0 && r.acc.pendingOutputs(r.alice) > 0) {
+      ASSERT_TRUE(r.acc.injectDropOutput(r.alice));
+      ++drops;
+    }
+  });
+  aes::Block pt;
+  for (auto& b : pt) b = 0x77;
+  const auto ct = s.encryptBlock(pt);
+  ASSERT_TRUE(ct.has_value());
+  EXPECT_EQ(*ct, aes::encryptBlock(pt, r.golden));
+  EXPECT_EQ(drops, 1u);
+  EXPECT_GE(s.retries(), 1u);
+  EXPECT_GE(r.acc.stats().retries, 1u);  // driver telemetry reached device
+  r.acc.setTickHook(nullptr);
+}
+
+TEST(DriverRobustness, SuppressionIsFinalAndNeverRetried) {
+  Rig r;
+  // The supervisor provisions the master key (ck = top): a regular user's
+  // result can then never be declassified to the output port.
+  ASSERT_TRUE(
+      loadKeyBytes(r.acc, r.sup, 5, 4, testKey(), aes::KeySize::Aes128,
+                   Conf::top()));
+  SessionOptions opts;
+  opts.max_retries = 3;  // must NOT be spent on a security refusal
+  AccelSession s{r.acc, r.alice, 5, opts};
+  const auto res = s.encryptBlock(aes::Block{});
+  EXPECT_FALSE(res.has_value());
+  EXPECT_EQ(res.status(), AccelStatus::Suppressed);
+  EXPECT_EQ(s.retries(), 0u);
+  EXPECT_FALSE(isRetryable(res.status()));
+}
+
+TEST(DriverRobustness, InvalidKeySlotRejectedImmediately) {
+  Rig r;
+  SessionOptions opts;
+  opts.max_retries = 3;
+  AccelSession s{r.acc, r.alice, 6, opts};  // slot 6 was never loaded
+  const std::uint64_t before = r.acc.cycle();
+  const auto res = s.encryptBlock(aes::Block{});
+  EXPECT_FALSE(res.has_value());
+  EXPECT_EQ(res.status(), AccelStatus::Rejected);
+  EXPECT_EQ(s.retries(), 0u);
+  EXPECT_LE(r.acc.cycle() - before, 2u);  // no watchdog wait, no backoff
+}
+
+TEST(DriverRobustness, StatusNamesAreStable) {
+  EXPECT_EQ(toString(AccelStatus::Ok), "ok");
+  EXPECT_EQ(toString(AccelStatus::Suppressed), "suppressed");
+  EXPECT_EQ(toString(AccelStatus::Timeout), "timeout");
+  EXPECT_EQ(toString(AccelStatus::FaultAborted), "fault-aborted");
+  EXPECT_EQ(toString(AccelStatus::Dropped), "dropped");
+  EXPECT_EQ(toString(AccelStatus::Rejected), "rejected");
+  EXPECT_TRUE(isRetryable(AccelStatus::Timeout));
+  EXPECT_FALSE(isRetryable(AccelStatus::Suppressed));
+  EXPECT_FALSE(isRetryable(AccelStatus::Rejected));
+}
+
+}  // namespace
+}  // namespace aesifc::accel
