@@ -561,6 +561,17 @@ void AesAccelerator::tick() {
     ++stats_.stalled_cycles;
   } else {
     std::optional<StageSlot> input = arbiterPick();
+    if (input.has_value() && !round_keys_.valid(input->key_slot)) {
+      // The slot was zeroized (fail-secure) after this request was queued
+      // but before the arbiter picked it. Never start a block on a dead
+      // key: abort it at the accept stage instead.
+      input->accept_cycle = cycle_;
+      deliverAbort(*input);
+      recordEvent(SecurityEventKind::KeySlotBlocked, input->user,
+                  "queued request aborted at accept: key slot " +
+                      std::to_string(input->key_slot) + " zeroized");
+      input.reset();
+    }
     if (input.has_value()) {
       input->accept_cycle = cycle_;
       ++stats_.accepted;

@@ -161,6 +161,13 @@ class AesAccelerator {
   // Driver-side hook: a session retried a failed request.
   void noteRetry() { ++stats_.retries; }
 
+  // Host-software entry into the security event ring: the service layer
+  // records its health-state transitions alongside the hardware's own
+  // events so one log tells the whole incident story in cycle order.
+  void noteServiceEvent(unsigned user, std::string detail) {
+    recordEvent(SecurityEventKind::ServiceHealth, user, std::move(detail));
+  }
+
   const std::deque<SecurityEvent>& events() const { return events_; }
   std::size_t eventCount(SecurityEventKind k) const;
   std::uint64_t eventsOverflowed() const { return events_overflowed_; }

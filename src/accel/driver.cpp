@@ -106,6 +106,14 @@ AccelResult<std::vector<aes::Block>> AccelSession::runBatch(
   auto finish = [&](AccelStatus verdict) {
     cycles_used_ += acc_.cycle() - start_cycle;
     last_status_ = verdict;
+    switch (verdict) {
+      case AccelStatus::Ok: ++telemetry_.ok; break;
+      case AccelStatus::Suppressed: ++telemetry_.suppressed; break;
+      case AccelStatus::Timeout: ++telemetry_.timeouts; break;
+      case AccelStatus::FaultAborted: ++telemetry_.fault_aborts; break;
+      case AccelStatus::Dropped: ++telemetry_.drops; break;
+      case AccelStatus::Rejected: ++telemetry_.rejected; break;
+    }
     return verdict;
   };
 

@@ -92,6 +92,37 @@ struct SessionOptions {
   std::uint64_t backoff_cycles = 32;  // idle ticks before retry, doubles per attempt
 };
 
+// Terminal-outcome counters for one session. Every runBatch() verdict bumps
+// exactly one field, so the sum equals the number of driver operations; a
+// health monitor can difference two snapshots to get a window's error rate.
+struct SessionTelemetry {
+  std::uint64_t ok = 0;
+  std::uint64_t suppressed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fault_aborts = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t rejected = 0;
+
+  std::uint64_t operations() const {
+    return ok + suppressed + timeouts + fault_aborts + drops + rejected;
+  }
+  // Transient-failure outcomes (the retryable statuses) — the numerator of
+  // an error-budget rate. Suppressed/Rejected are deterministic verdicts,
+  // not device health signals.
+  std::uint64_t transientFailures() const {
+    return timeouts + fault_aborts + drops;
+  }
+  SessionTelemetry& operator+=(const SessionTelemetry& o) {
+    ok += o.ok;
+    suppressed += o.suppressed;
+    timeouts += o.timeouts;
+    fault_aborts += o.fault_aborts;
+    drops += o.drops;
+    rejected += o.rejected;
+    return *this;
+  }
+};
+
 class AccelSession {
  public:
   AccelSession(AesAccelerator& acc, unsigned user, unsigned key_slot,
@@ -119,6 +150,12 @@ class AccelSession {
   // Status of the most recent operation and retry telemetry.
   AccelStatus lastStatus() const { return last_status_; }
   std::uint64_t retries() const { return retries_; }
+  // Cumulative terminal-outcome counts (see SessionTelemetry).
+  const SessionTelemetry& telemetry() const { return telemetry_; }
+  // Retune the robustness knobs mid-session (a degraded-mode service
+  // tightens the watchdog and retry budget without reopening the session).
+  void setOptions(const SessionOptions& opts) { opts_ = opts; }
+  const SessionOptions& options() const { return opts_; }
 
  private:
   // Submit `blocks` (optionally XORed against `chain` upstream by caller),
@@ -135,6 +172,7 @@ class AccelSession {
   std::uint64_t cycles_used_ = 0;
   std::uint64_t retries_ = 0;
   AccelStatus last_status_ = AccelStatus::Ok;
+  SessionTelemetry telemetry_;
 };
 
 }  // namespace aesifc::accel

@@ -3,6 +3,26 @@
 #include <stdexcept>
 
 namespace aesifc::accel {
+namespace {
+
+// Position-sensitive 64-bit rolling checksum (FNV-1a step). Models the
+// CRC/SECDED word real key RAMs carry: any small perturbation — including
+// several accumulated single-bit upsets — changes the digest, where a
+// folded parity bit lets an even number of flips cancel.
+constexpr std::uint64_t kChecksumBasis = 1469598103934665603ull;
+
+std::uint64_t checksumStep(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * 1099511628211ull;
+}
+
+}  // namespace
+
+// The checksum of reset state is not zero, so power-on must stamp the
+// digests to match the zeroed storage or the first scrub visit would
+// "detect" corruption in never-written cells/slots.
+KeyScratchpad::KeyScratchpad(SecurityMode mode) : mode_{mode} {
+  for (auto& s : cell_sum_) s = checksumStep(kChecksumBasis, 0);
+}
 
 void KeyScratchpad::configureCells(unsigned base, unsigned count,
                                    const Label& l) {
@@ -23,7 +43,7 @@ bool KeyScratchpad::writeCell(unsigned idx, std::uint64_t value,
     return false;
   }
   cells_[idx] = value;
-  cell_parity_[idx] = parity64(value);
+  cell_sum_[idx] = checksumStep(kChecksumBasis, value);
   return true;
 }
 
@@ -40,7 +60,7 @@ std::optional<std::uint64_t> KeyScratchpad::readCell(
 }
 
 bool KeyScratchpad::cellParityOk(unsigned idx) const {
-  return parity64(cells_.at(idx)) == cell_parity_.at(idx);
+  return checksumStep(kChecksumBasis, cells_.at(idx)) == cell_sum_.at(idx);
 }
 
 bool KeyScratchpad::tagParityOk(unsigned idx) const {
@@ -49,7 +69,7 @@ bool KeyScratchpad::tagParityOk(unsigned idx) const {
 
 void KeyScratchpad::failSecure(unsigned idx) {
   cells_.at(idx) = 0;
-  cell_parity_.at(idx) = false;
+  cell_sum_.at(idx) = checksumStep(kChecksumBasis, 0);
   // Quarantine: unreadable by everyone (top confidentiality); a corrupted
   // tag must only ever fail upward, never toward public.
   tags_.at(idx) = Label{lattice::Conf::top(), lattice::Integ::bottom()};
@@ -75,6 +95,11 @@ bool KeyScratchpad::faultFlipTagBit(unsigned idx, unsigned bit) {
   return true;
 }
 
+RoundKeyRam::RoundKeyRam() {
+  for (unsigned s = 0; s < kRoundKeySlots; ++s)
+    sum_[s] = computeChecksum(slots_[s]);
+}
+
 void RoundKeyRam::store(unsigned slot, aes::ExpandedKey key,
                         lattice::Conf key_conf, const Label& owner) {
   auto& s = slots_.at(slot);
@@ -82,28 +107,28 @@ void RoundKeyRam::store(unsigned slot, aes::ExpandedKey key,
   s.key = std::move(key);
   s.key_conf = key_conf;
   s.owner = owner;
-  parity_.at(slot) = computeParity(s);
+  sum_.at(slot) = computeChecksum(s);
 }
 
 void RoundKeyRam::clear(unsigned slot) {
   slots_.at(slot) = KeySlot{};
-  parity_.at(slot) = computeParity(slots_.at(slot));
+  sum_.at(slot) = computeChecksum(slots_.at(slot));
 }
 
-bool RoundKeyRam::computeParity(const KeySlot& s) const {
-  std::uint64_t acc = 0;
+std::uint64_t RoundKeyRam::computeChecksum(const KeySlot& s) const {
+  std::uint64_t h = kChecksumBasis;
   for (const auto& rk : s.key.round_keys) {
-    for (unsigned b = 0; b < 16; ++b) acc ^= static_cast<std::uint64_t>(rk[b])
-                                             << (8 * (b % 8));
+    for (unsigned b = 0; b < 16; ++b) h = checksumStep(h, rk[b]);
   }
-  acc ^= static_cast<std::uint64_t>(s.key_conf.cats.mask());
-  acc ^= static_cast<std::uint64_t>(s.owner.c.cats.mask()) << 16;
-  acc ^= static_cast<std::uint64_t>(s.owner.i.cats.mask()) << 32;
-  return parity64(acc) != s.valid;  // fold validity in so clear() differs
+  h = checksumStep(h, s.key_conf.cats.mask());
+  h = checksumStep(h, s.owner.c.cats.mask());
+  h = checksumStep(h, static_cast<std::uint64_t>(s.owner.i.cats.mask()) << 1 |
+                          (s.valid ? 1 : 0));
+  return h;
 }
 
 bool RoundKeyRam::slotParityOk(unsigned slot) const {
-  return computeParity(slots_.at(slot)) == parity_.at(slot);
+  return computeChecksum(slots_.at(slot)) == sum_.at(slot);
 }
 
 bool RoundKeyRam::faultFlipKeyBit(unsigned slot, unsigned round, unsigned byte,

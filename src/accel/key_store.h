@@ -27,7 +27,7 @@ inline constexpr unsigned kRoundKeySlots = 8;     // expanded-key RAM slots
 
 class KeyScratchpad {
  public:
-  explicit KeyScratchpad(SecurityMode mode) : mode_{mode} {}
+  explicit KeyScratchpad(SecurityMode mode);
 
   // Arbiter-side: (re)assign the security level of a range of cells before
   // a user writes its key (the paper's "arbiter accepts the request and
@@ -47,9 +47,12 @@ class KeyScratchpad {
   const Label& cellLabel(unsigned idx) const { return tags_.at(idx); }
 
   // --- Fail-secure hardening -------------------------------------------------
-  // Each cell stores a parity bit over its data and one over its tag,
-  // written together with the protected state. A single-event upset flips
-  // state without updating parity, so any single flip is detectable.
+  // Each cell stores a checksum word over its data (modelling a per-cell
+  // CRC/SECDED word) and a parity bit over its tag, written together with
+  // the protected state. Tags are swept by the every-cycle fast scrub ring,
+  // so one parity bit suffices there (at most one upset can land between
+  // checks); cell data is only visited by the slow ring, where upsets can
+  // accumulate — a full checksum keeps multi-bit corruption detectable.
   bool cellParityOk(unsigned idx) const;
   bool tagParityOk(unsigned idx) const;
   // Fail-secure response to a parity mismatch: zeroize the cell and force
@@ -67,7 +70,7 @@ class KeyScratchpad {
   SecurityMode mode_;
   std::array<std::uint64_t, kScratchpadCells> cells_{};
   std::array<Label, kScratchpadCells> tags_{};
-  std::array<bool, kScratchpadCells> cell_parity_{};
+  std::array<std::uint64_t, kScratchpadCells> cell_sum_{};
   std::array<bool, kScratchpadCells> tag_parity_{};
 };
 
@@ -84,6 +87,7 @@ struct KeySlot {
 
 class RoundKeyRam {
  public:
+  RoundKeyRam();
   void store(unsigned slot, aes::ExpandedKey key, lattice::Conf key_conf,
              const Label& owner);
   void clear(unsigned slot);
@@ -95,21 +99,24 @@ class RoundKeyRam {
   unsigned rounds(unsigned slot) const { return slots_.at(slot).key.rounds(); }
 
   // --- Fail-secure hardening -------------------------------------------------
-  // One parity bit per slot over the whole expanded key plus its security
-  // metadata, written at store() time. A flipped key or metadata bit is
-  // detected at the next submit or scrub visit; the fail-secure response
-  // (zeroization) is driven by the accelerator, which also has to squash
-  // in-flight blocks referencing the slot.
+  // One checksum word per slot over the whole expanded key plus its
+  // security metadata, written at store() time (models a per-slot CRC: the
+  // RAM is only integrity-checked at submit, completion, and slow-ring
+  // scrub visits, so upsets can accumulate between checks — a single parity
+  // bit would let an even number of flips cancel out and a corrupted key
+  // serve traffic). Corruption is detected at the next check; the
+  // fail-secure response (zeroization) is driven by the accelerator, which
+  // also has to squash in-flight blocks referencing the slot.
   bool slotParityOk(unsigned slot) const;
 
   bool faultFlipKeyBit(unsigned slot, unsigned round, unsigned byte,
                        unsigned bit);
 
  private:
-  bool computeParity(const KeySlot& s) const;
+  std::uint64_t computeChecksum(const KeySlot& s) const;
 
   std::array<KeySlot, kRoundKeySlots> slots_{};
-  std::array<bool, kRoundKeySlots> parity_{};
+  std::array<std::uint64_t, kRoundKeySlots> sum_{};
 };
 
 }  // namespace aesifc::accel

@@ -19,6 +19,7 @@ std::string toString(SecurityEventKind k) {
     case SecurityEventKind::KeySlotBlocked: return "key-slot-blocked";
     case SecurityEventKind::FaultDetected: return "fault-detected";
     case SecurityEventKind::FaultScrubbed: return "fault-scrubbed";
+    case SecurityEventKind::ServiceHealth: return "service-health";
   }
   return "?";
 }

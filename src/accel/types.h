@@ -32,9 +32,10 @@ enum class SecurityEventKind {
   KeySlotBlocked,
   FaultDetected,   // parity mismatch caught at point of use; fail-secure
   FaultScrubbed,   // parity mismatch caught by the background scrub pass
+  ServiceHealth,   // service-layer health-state transition (soc::AccelService)
 };
 
-inline constexpr unsigned kSecurityEventKinds = 10;
+inline constexpr unsigned kSecurityEventKinds = 11;
 
 std::string toString(SecurityEventKind k);
 

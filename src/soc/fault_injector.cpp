@@ -1,15 +1,64 @@
 #include "soc/fault_injector.h"
 
 #include <sstream>
+#include <stdexcept>
 
 namespace aesifc::soc {
 
 using accel::FaultSite;
 
+namespace {
+
+FaultSite faultSiteFromString(const std::string& name) {
+  for (unsigned s = 0; s < 10; ++s) {
+    const auto site = static_cast<FaultSite>(s);
+    if (accel::toString(site) == name) return site;
+  }
+  throw std::invalid_argument("parseTrace: unknown fault site '" + name + "'");
+}
+
+}  // namespace
+
+std::string traceToString(const std::vector<FaultRecord>& records) {
+  std::ostringstream os;
+  for (const auto& r : records) {
+    os << r.cycle << " " << accel::toString(r.site) << " " << r.index << " "
+       << r.bit << " " << (r.applied ? 1 : 0) << "\n";
+  }
+  return os.str();
+}
+
+std::vector<FaultRecord> parseTrace(const std::string& text) {
+  std::vector<FaultRecord> out;
+  std::istringstream is{text};
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls{line};
+    FaultRecord r;
+    std::string site;
+    int applied = 0;
+    if (!(ls >> r.cycle >> site >> r.index >> r.bit >> applied)) {
+      throw std::invalid_argument("parseTrace: malformed line '" + line + "'");
+    }
+    r.site = faultSiteFromString(site);
+    r.applied = applied != 0;
+    out.push_back(r);
+  }
+  return out;
+}
+
 FaultInjector::FaultInjector(accel::AesAccelerator& acc,
                              FaultCampaignConfig cfg,
                              std::vector<unsigned> users)
     : acc_{acc}, cfg_{cfg}, users_{std::move(users)}, rng_{cfg.seed} {}
+
+FaultInjector::FaultInjector(accel::AesAccelerator& acc,
+                             FaultCampaignConfig cfg,
+                             std::vector<unsigned> users,
+                             std::vector<FaultRecord> trace)
+    : acc_{acc}, cfg_{cfg}, users_{std::move(users)}, rng_{cfg.seed},
+      replay_{true}, replay_trace_{std::move(trace)} {}
 
 void FaultInjector::tick() {
   // Release receivers whose stuck window has expired.
@@ -21,12 +70,28 @@ void FaultInjector::tick() {
       ++it;
     }
   }
+  if (replay_) {
+    replayTick();
+    return;
+  }
   if (!rng_.chance(cfg_.fault_rate)) return;
   const bool hw = cfg_.hw_faults && (!cfg_.host_faults || rng_.chance(0.7));
   if (hw) {
     injectHw();
   } else if (cfg_.host_faults) {
     injectHost();
+  }
+}
+
+void FaultInjector::replayTick() {
+  // Land every trace event stamped for the current cycle. Cycles the
+  // workload never reaches simply leave the remaining tail uninjected
+  // (report() then shows fewer injected events than the trace holds).
+  while (replay_next_ < replay_trace_.size() &&
+         replay_trace_[replay_next_].cycle <= acc_.cycle()) {
+    FaultRecord rec = replay_trace_[replay_next_++];
+    rec.cycle = acc_.cycle();
+    applyRecord(rec);
   }
 }
 
@@ -60,9 +125,7 @@ void FaultInjector::injectHw() {
     default:
       return;
   }
-  rec.applied = acc_.injectFault(rec.site, rec.index, rec.bit);
-  ++injected_;
-  records_.push_back(rec);
+  applyRecord(rec);
 }
 
 void FaultInjector::injectHost() {
@@ -73,33 +136,58 @@ void FaultInjector::injectHost() {
   rec.cycle = acc_.cycle();
   rec.index = user;
   switch (rng_.below(4)) {
-    case 0:
-      rec.site = FaultSite::HostDrop;
-      rec.applied = acc_.injectDropOutput(user);
+    case 0: rec.site = FaultSite::HostDrop; break;
+    case 1: rec.site = FaultSite::HostDuplicate; break;
+    case 2: rec.site = FaultSite::HostStuckReceiver; break;
+    default:
+      rec.site = FaultSite::HostSpuriousSubmit;
+      // Shape of the spurious request, encoded so a replay rebuilds it.
+      rec.bit = static_cast<unsigned>(rng_.below(accel::kRoundKeySlots + 2)) *
+                    2 +
+                (rng_.chance(0.5) ? 1 : 0);
+      break;
+  }
+  applyRecord(rec);
+}
+
+// Single point where a fault event — freshly rolled or replayed — lands on
+// the device and enters the injection log.
+void FaultInjector::applyRecord(FaultRecord rec) {
+  switch (rec.site) {
+    case FaultSite::StageData:
+    case FaultSite::StageTag:
+    case FaultSite::ScratchCell:
+    case FaultSite::ScratchTag:
+    case FaultSite::RoundKey:
+    case FaultSite::ConfigReg:
+      rec.applied = acc_.injectFault(rec.site, rec.index, rec.bit);
+      break;
+    case FaultSite::HostDrop:
+      rec.applied = acc_.injectDropOutput(rec.index);
       if (rec.applied) ++host_drops_;
       break;
-    case 1:
-      rec.site = FaultSite::HostDuplicate;
-      rec.applied = acc_.injectDuplicateOutput(user);
+    case FaultSite::HostDuplicate:
+      rec.applied = acc_.injectDuplicateOutput(rec.index);
       if (rec.applied) ++host_duplicates_;
       break;
-    case 2: {
-      rec.site = FaultSite::HostStuckReceiver;
-      acc_.setReceiverReady(user, false);
-      stuck_.emplace_back(user, acc_.cycle() + cfg_.stuck_cycles);
+    case FaultSite::HostStuckReceiver:
+      acc_.setReceiverReady(rec.index, false);
+      stuck_.emplace_back(rec.index, acc_.cycle() + cfg_.stuck_cycles);
       rec.applied = true;
       ++host_stuck_;
       break;
-    }
-    default: {
-      rec.site = FaultSite::HostSpuriousSubmit;
+    case FaultSite::HostSpuriousSubmit: {
       accel::BlockRequest req;
       // Ids in a reserved high range so no driver request is ever aliased.
       req.req_id = 0xF000000000000000ULL + spurious_seq_++;
-      req.user = user;
-      req.key_slot = static_cast<unsigned>(rng_.below(accel::kRoundKeySlots + 2));
-      req.decrypt = rng_.chance(0.5);
-      for (auto& b : req.data) b = static_cast<std::uint8_t>(rng_.next());
+      req.user = rec.index;
+      req.key_slot = rec.bit / 2;
+      req.decrypt = (rec.bit & 1) != 0;
+      // Contents are irrelevant to every observable (nothing consumes a
+      // spurious output; timing and parity are data-independent), so a
+      // deterministic pattern keeps record and replay identical.
+      for (unsigned i = 0; i < 16; ++i)
+        req.data[i] = static_cast<std::uint8_t>(0xA5u ^ (req.req_id + i));
       rec.applied = acc_.submit(req);
       ++host_spurious_;
       break;

@@ -37,9 +37,20 @@ struct FaultRecord {
   std::uint64_t cycle = 0;
   accel::FaultSite site{};
   unsigned index = 0;  // stage / cell / slot / register / user
+  // Hardware sites: the flipped bit. HostSpuriousSubmit: key_slot*2+decrypt
+  // (the spurious request's shape, so a replay rebuilds the same request).
   unsigned bit = 0;
   bool applied = false;  // false: target empty or out of range, no state hit
 };
+
+// One-line-per-event text form of an injection log — the replay trace. A
+// failing campaign dumps this; feeding it back through a replay-mode
+// FaultInjector re-lands every event on the same cycle at the same site, so
+// a failure reproduces exactly in a debugger without re-rolling the RNG.
+std::string traceToString(const std::vector<FaultRecord>& records);
+// Inverse of traceToString. Throws std::invalid_argument on a malformed
+// line or unknown site name.
+std::vector<FaultRecord> parseTrace(const std::string& text);
 
 // End-of-campaign reconciliation. `injected`/`applied` come from the
 // injector's own log; `detected`/`recovered`/`aborted` are read back from
@@ -78,18 +89,31 @@ class FaultInjector {
   FaultInjector(accel::AesAccelerator& acc, FaultCampaignConfig cfg,
                 std::vector<unsigned> users);
 
-  // Roll for (at most) one fault this cycle. Call before acc.tick().
+  // Replay mode: re-inject a recorded trace instead of rolling the RNG.
+  // Events land on the cycles recorded in the trace (tick() compares
+  // against acc.cycle(), so drive the same workload for a faithful rerun).
+  // `stuck_cycles` still comes from `cfg`.
+  FaultInjector(accel::AesAccelerator& acc, FaultCampaignConfig cfg,
+                std::vector<unsigned> users, std::vector<FaultRecord> trace);
+
+  // Roll for (at most) one fault this cycle — or, in replay mode, land
+  // every trace event recorded for this cycle. Call before acc.tick().
   void tick();
   // Restore any receiver lines the injector is currently holding down
   // (call when the campaign's fault phase ends, before draining).
   void releaseStuckReceivers();
 
   std::uint64_t injected() const { return injected_; }
+  bool replaying() const { return replay_; }
+  // The injection log so far (the replay trace of this run).
+  const std::vector<FaultRecord>& trace() const { return records_; }
   FaultCampaignReport report() const;
 
  private:
   void injectHw();
   void injectHost();
+  void applyRecord(FaultRecord rec);
+  void replayTick();
 
   accel::AesAccelerator& acc_;
   FaultCampaignConfig cfg_;
@@ -104,6 +128,9 @@ class FaultInjector {
   std::uint64_t spurious_seq_ = 0;
   // (user, release_cycle) for receivers currently forced not-ready.
   std::vector<std::pair<unsigned, std::uint64_t>> stuck_;
+  bool replay_ = false;
+  std::vector<FaultRecord> replay_trace_;
+  std::size_t replay_next_ = 0;
 };
 
 }  // namespace aesifc::soc

@@ -56,6 +56,19 @@ struct RobustnessStats {
                      static_cast<double>(faults_detected);
   }
   std::string toJson() const;
+
+  // Aggregate campaign scorecards (across seeds, phases, or tenants); the
+  // derived rates recompute from the summed raw counters.
+  RobustnessStats& operator+=(const RobustnessStats& o) {
+    faults_injected += o.faults_injected;
+    faults_detected += o.faults_detected;
+    faults_recovered += o.faults_recovered;
+    fault_aborts += o.fault_aborts;
+    retries += o.retries;
+    timeouts += o.timeouts;
+    drops += o.drops;
+    return *this;
+  }
 };
 
 }  // namespace aesifc::soc

@@ -1,0 +1,350 @@
+#include "soc/service.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "aes/cipher.h"
+#include "soc/policy_engine.h"
+
+namespace aesifc::soc {
+
+using accel::AccelStatus;
+
+std::string toString(CompletionStatus s) {
+  switch (s) {
+    case CompletionStatus::Ok: return "ok";
+    case CompletionStatus::Suppressed: return "suppressed";
+    case CompletionStatus::TimedOut: return "timed-out";
+    case CompletionStatus::FaultAborted: return "fault-aborted";
+    case CompletionStatus::Dropped: return "dropped";
+    case CompletionStatus::Rejected: return "rejected";
+    case CompletionStatus::Shed: return "shed";
+  }
+  return "?";
+}
+
+std::string toString(ServedBy s) {
+  switch (s) {
+    case ServedBy::Hardware: return "hardware";
+    case ServedBy::SoftwareFallback: return "software-fallback";
+    case ServedBy::None: return "none";
+  }
+  return "?";
+}
+
+std::string ServiceStats::toJson() const {
+  std::ostringstream os;
+  os << "{\"offered\":" << offered << ",\"admitted\":" << admitted
+     << ",\"rejected_queue_full\":" << rejected_queue_full
+     << ",\"rejected_backpressure\":" << rejected_backpressure
+     << ",\"shed\":" << shed << ",\"completed_hw\":" << completed_hw
+     << ",\"completed_fallback\":" << completed_fallback
+     << ",\"fallback_suppressed\":" << fallback_suppressed
+     << ",\"hw_transient_failures\":" << hw_transient_failures
+     << ",\"requeues\":" << requeues << ",\"canary_rounds\":" << canary_rounds
+     << ",\"canary_failures\":" << canary_failures
+     << ",\"key_reprovisions\":" << key_reprovisions << "}";
+  return os.str();
+}
+
+AccelService::AccelService(accel::AesAccelerator& acc, ServiceConfig cfg)
+    : acc_{acc}, cfg_{cfg}, monitor_{cfg.health},
+      window_start_cycle_{acc.cycle()} {}
+
+unsigned AccelService::addTenant(const TenantSpec& spec) {
+  if (!accel::loadKeyBytes(acc_, spec.user, spec.key_slot, spec.cell_base,
+                           spec.key, aes::KeySize::Aes128, spec.key_conf)) {
+    throw std::runtime_error("AccelService::addTenant: key provisioning for "
+                             "user " + std::to_string(spec.user) + " refused");
+  }
+  const unsigned t = static_cast<unsigned>(tenants_.size());
+  tenants_.push_back(spec);
+  sessions_.emplace_back(acc_, spec.user, spec.key_slot, cfg_.healthy_opts);
+  golden_.push_back(aes::expandKey(spec.key, aes::KeySize::Aes128));
+  queues_.emplace_back();
+  completions_.emplace_back();
+  completed_per_tenant_.push_back(0);
+  return t;
+}
+
+std::size_t AccelService::totalQueued() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+SubmitResult AccelService::submit(unsigned tenant, const aes::Block& data,
+                                  bool decrypt) {
+  ++stats_.offered;
+  auto& q = queues_.at(tenant);
+
+  // Global watermark first: when the whole service is saturated, shedding a
+  // tenant's own queue would not relieve the pressure — push back on the
+  // caller instead.
+  if (totalQueued() >= cfg_.global_high_watermark) {
+    ++stats_.rejected_backpressure;
+    return {false, 0, AdmitError::Backpressure};
+  }
+
+  if (q.size() >= tenants_[tenant].queue_depth) {
+    if (cfg_.overflow == OverflowPolicy::RejectNew) {
+      ++stats_.rejected_queue_full;
+      return {false, 0, AdmitError::QueueFull};
+    }
+    // ShedOldest: the tenant trades its own stalest request for the fresh
+    // one; the evicted ticket still resolves (as Shed), never vanishes.
+    Request victim = std::move(q.front());
+    q.pop_front();
+    ++stats_.shed;
+    complete(tenant, victim, CompletionStatus::Shed, ServedBy::None,
+             aes::Block{});
+  }
+
+  Request req;
+  req.ticket = next_ticket_++;
+  req.data = data;
+  req.decrypt = decrypt;
+  req.submit_cycle = acc_.cycle();
+  q.push_back(req);
+  ++stats_.admitted;
+  return {true, req.ticket, AdmitError::QueueFull};
+}
+
+std::optional<Completion> AccelService::fetch(unsigned tenant) {
+  auto& c = completions_.at(tenant);
+  if (c.empty()) return std::nullopt;
+  Completion out = std::move(c.front());
+  c.pop_front();
+  return out;
+}
+
+void AccelService::complete(unsigned tenant, const Request& req,
+                            CompletionStatus st, ServedBy by,
+                            const aes::Block& data) {
+  Completion c;
+  c.ticket = req.ticket;
+  c.tenant = tenant;
+  c.status = st;
+  c.served_by = by;
+  c.data = data;
+  c.submit_cycle = req.submit_cycle;
+  c.complete_cycle = acc_.cycle();
+  completions_.at(tenant).push_back(std::move(c));
+  if (st == CompletionStatus::Ok) ++completed_per_tenant_.at(tenant);
+}
+
+void AccelService::logTransitions() {
+  const auto& ts = monitor_.transitions();
+  for (; logged_transitions_ < ts.size(); ++logged_transitions_) {
+    const auto& t = ts[logged_transitions_];
+    acc_.noteServiceEvent(0, toString(t.from) + " -> " + toString(t.to) +
+                                 ": " + t.reason);
+  }
+}
+
+void AccelService::applyStateOptions() {
+  const auto& opts = monitor_.state() == HealthState::Degraded
+                         ? cfg_.degraded_opts
+                         : cfg_.healthy_opts;
+  for (auto& s : sessions_) s.setOptions(opts);
+}
+
+bool AccelService::reprovisionKey(unsigned tenant) {
+  const auto& spec = tenants_[tenant];
+  if (!accel::loadKeyBytes(acc_, spec.user, spec.key_slot, spec.cell_base,
+                           spec.key, aes::KeySize::Aes128, spec.key_conf)) {
+    return false;
+  }
+  ++stats_.key_reprovisions;
+  return true;
+}
+
+void AccelService::serveFallback(unsigned tenant, const Request& req) {
+  // The breaker is open: compute in software, but release under exactly the
+  // declassification rule the tagged pipeline applies at its exit. A label
+  // the hardware would suppress stays suppressed — degraded mode must never
+  // become a policy bypass.
+  const auto& spec = tenants_[tenant];
+  const auto decision = degradedReleaseDecision(
+      acc_.principal(spec.user), spec.key_conf);
+  // Model the software path's cost on the shared clock so quarantine
+  // residency and the background scrub keep advancing.
+  acc_.run(cfg_.fallback_cycles_per_block);
+  if (!decision.allowed) {
+    ++stats_.fallback_suppressed;
+    complete(tenant, req, CompletionStatus::Suppressed,
+             ServedBy::SoftwareFallback, aes::Block{});
+    return;
+  }
+  const aes::Block out = req.decrypt
+                             ? aes::decryptBlock(req.data, golden_[tenant])
+                             : aes::encryptBlock(req.data, golden_[tenant]);
+  ++stats_.completed_fallback;
+  complete(tenant, req, CompletionStatus::Ok, ServedBy::SoftwareFallback, out);
+}
+
+void AccelService::serveHardware(unsigned tenant, Request req) {
+  auto& session = sessions_[tenant];
+  const auto r = req.decrypt ? session.decryptBlock(req.data)
+                             : session.encryptBlock(req.data);
+  if (r.has_value()) {
+    ++stats_.completed_hw;
+    complete(tenant, req, CompletionStatus::Ok, ServedBy::Hardware, *r);
+    return;
+  }
+  switch (r.status()) {
+    case AccelStatus::Suppressed:
+      complete(tenant, req, CompletionStatus::Suppressed, ServedBy::Hardware,
+               aes::Block{});
+      return;
+    case AccelStatus::Rejected:
+      // Typically a fail-secure zeroized slot. Re-provision once and let
+      // the request ride again; a tenant whose key cannot be restored gets
+      // a definite Rejected.
+      if (req.requeues < cfg_.max_requeues && reprovisionKey(tenant)) {
+        ++req.requeues;
+        ++stats_.requeues;
+        queues_[tenant].push_front(std::move(req));
+      } else {
+        complete(tenant, req, CompletionStatus::Rejected, ServedBy::Hardware,
+                 aes::Block{});
+      }
+      return;
+    default:
+      break;
+  }
+  // Transient failure that survived the driver's own retry budget.
+  ++stats_.hw_transient_failures;
+  if (req.requeues < cfg_.max_requeues) {
+    ++req.requeues;
+    ++stats_.requeues;
+    // Front of the queue: per-tenant order is preserved, and if the breaker
+    // trips before the next round the request is served by the fallback.
+    queues_[tenant].push_front(std::move(req));
+    return;
+  }
+  CompletionStatus st = CompletionStatus::TimedOut;
+  if (r.status() == AccelStatus::FaultAborted)
+    st = CompletionStatus::FaultAborted;
+  else if (r.status() == AccelStatus::Dropped) st = CompletionStatus::Dropped;
+  complete(tenant, req, st, ServedBy::Hardware, aes::Block{});
+}
+
+void AccelService::serveOne(unsigned tenant, Request req) {
+  const HealthState st = monitor_.state();
+  if (st == HealthState::Quarantined || st == HealthState::Probation) {
+    serveFallback(tenant, req);
+  } else {
+    serveHardware(tenant, std::move(req));
+  }
+}
+
+void AccelService::sampleWindowIfDue() {
+  if (acc_.cycle() < window_start_cycle_ + cfg_.health.window_cycles) return;
+  accel::SessionTelemetry now;
+  for (const auto& s : sessions_) now += s.telemetry();
+  accel::SessionTelemetry d = now;
+  d.ok -= window_base_.ok;
+  d.suppressed -= window_base_.suppressed;
+  d.timeouts -= window_base_.timeouts;
+  d.fault_aborts -= window_base_.fault_aborts;
+  d.drops -= window_base_.drops;
+  d.rejected -= window_base_.rejected;
+
+  RobustnessStats w;
+  w.timeouts = d.timeouts;
+  w.fault_aborts = d.fault_aborts;
+  w.drops = d.drops;
+  const HealthState before = monitor_.state();
+  // Deterministic refusals (rejected, suppressed) say nothing about device
+  // health — counting them would dilute the transient rate exactly when the
+  // service is churning through key reprovisions. The denominator is only
+  // the verdicts a healthy device would have completed.
+  const std::uint64_t ops = d.ok + d.timeouts + d.fault_aborts + d.drops;
+  monitor_.onWindow(w, ops, d.ok, acc_.cycle());
+  window_start_cycle_ = acc_.cycle();
+  window_base_ = now;
+  if (monitor_.state() != before) {
+    logTransitions();
+    applyStateOptions();
+  }
+}
+
+void AccelService::runCanaries() {
+  ++stats_.canary_rounds;
+  bool all_ok = !tenants_.empty();
+  for (unsigned t = 0; t < tenants_.size(); ++t) {
+    const auto& spec = tenants_[t];
+    // Fail-secure zeroization may have destroyed the slot while the device
+    // was sick; a canary round re-provisions before probing.
+    if (!acc_.roundKeys().valid(spec.key_slot) && !reprovisionKey(t)) {
+      all_ok = false;
+      continue;
+    }
+    aes::Block pt;
+    for (unsigned i = 0; i < 16; ++i)
+      pt[i] = static_cast<std::uint8_t>(i ^ (t * 0x11));
+    auto& session = sessions_[t];
+    session.setOptions(cfg_.canary_opts);
+    const auto got = session.encryptBlock(pt);
+    // A tenant whose label forbids release to itself (the master-key
+    // pattern) can never show the probe its ciphertext: healthy hardware
+    // suppresses it. For such a tenant the expected canary verdict IS
+    // suppression — anything else (timeout, abort, wrong data) still fails.
+    const bool release_allowed =
+        degradedReleaseDecision(acc_.principal(spec.user), spec.key_conf)
+            .allowed;
+    if (release_allowed) {
+      const aes::Block want = aes::encryptBlock(pt, golden_[t]);
+      if (!got.has_value() || *got != want) all_ok = false;
+    } else if (got.has_value() ||
+               got.status() != accel::AccelStatus::Suppressed) {
+      all_ok = false;
+    }
+  }
+  if (!all_ok) ++stats_.canary_failures;
+  monitor_.onCanaryVerdict(all_ok, acc_.cycle());
+  logTransitions();
+  applyStateOptions();
+}
+
+unsigned AccelService::pump() {
+  // One idle cycle per round models scheduling overhead and, crucially,
+  // keeps the device clock (and quarantine residency) moving even when all
+  // queues are empty.
+  acc_.tick();
+
+  if (monitor_.state() == HealthState::Quarantined &&
+      monitor_.tryBeginProbation(acc_.cycle())) {
+    logTransitions();
+    runCanaries();
+  }
+
+  unsigned resolved = 0;
+  const unsigned n = static_cast<unsigned>(tenants_.size());
+  for (unsigned k = 0; k < n; ++k) {
+    const unsigned t = (rr_next_ + k) % n;
+    for (unsigned i = 0; i < cfg_.quota_per_round; ++i) {
+      if (queues_[t].empty()) break;
+      Request req = std::move(queues_[t].front());
+      queues_[t].pop_front();
+      const std::size_t before = completions_[t].size();
+      serveOne(t, std::move(req));
+      if (completions_[t].size() > before) ++resolved;
+    }
+  }
+  if (n) rr_next_ = (rr_next_ + 1) % n;
+
+  sampleWindowIfDue();
+  return resolved;
+}
+
+void AccelService::runUntilIdle(std::uint64_t max_device_cycles) {
+  const std::uint64_t start = acc_.cycle();
+  while (totalQueued() > 0 && acc_.cycle() - start < max_device_cycles) {
+    pump();
+  }
+  logTransitions();
+}
+
+}  // namespace aesifc::soc

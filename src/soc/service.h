@@ -1,0 +1,223 @@
+#pragma once
+// Multi-tenant service front end over the accelerator driver — the layer
+// that keeps the *service* alive when the device goes unhealthy or tenants
+// overload it (the Fig. 2 SoC serving mutually distrusting users at cloud
+// traffic levels).
+//
+// Three cooperating mechanisms:
+//
+//  * Admission control: per tenant a bounded submission queue and a fair
+//    per-round service quota; a global watermark applies backpressure when
+//    the sum of queues grows past it. Overflowing tenants shed their own
+//    oldest request (ShedOldest) or bounce the new one (RejectNew) — never
+//    another tenant's traffic, so overload cannot become cross-tenant
+//    denial of service.
+//
+//  * Circuit breaker: a HealthMonitor watches an error-budget window over
+//    the drivers' RobustnessStats-style telemetry. When the device is
+//    Quarantined the service fails over to the golden software AES — but
+//    every fallback block first re-checks the tenant's (conf, integ) label
+//    via soc::degradedReleaseDecision, the same Eq. 1 declassification the
+//    tagged pipeline applies at its exit. Degraded mode can therefore never
+//    release a ciphertext the hardware would have suppressed.
+//
+//  * Probation: quarantine is left only through canary probes — a known-
+//    answer block per tenant key slot, re-provisioned first if fail-secure
+//    zeroization destroyed the slot — so traffic returns to hardware only
+//    after the hardware demonstrably computes correct AES again.
+//
+// Every health transition is recorded in the accelerator's security event
+// ring (SecurityEventKind::ServiceHealth), putting service-level incidents
+// on the same cycle timeline as the hardware's own fault events.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accel/driver.h"
+#include "aes/key_schedule.h"
+#include "soc/health.h"
+#include "soc/metrics.h"
+
+namespace aesifc::soc {
+
+// What to evict when a tenant overruns its own queue.
+enum class OverflowPolicy { RejectNew, ShedOldest };
+
+struct ServiceConfig {
+  OverflowPolicy overflow = OverflowPolicy::ShedOldest;
+  // Global watermark: new admissions are refused (backpressure to the
+  // caller) while the total queued across tenants is at or above this.
+  std::size_t global_high_watermark = 64;
+  // Blocks served per tenant per scheduling round (fair share).
+  unsigned quota_per_round = 4;
+  // Service-level retry budget per request: a request whose hardware serve
+  // ends in a transient failure is re-queued at the front this many times
+  // (it rides over to the fallback path if the breaker trips meanwhile).
+  unsigned max_requeues = 1;
+  // Device cycles charged per software-fallback block, ticked on the
+  // accelerator so quarantine residency and background scrubbing advance
+  // while traffic is off the hardware.
+  unsigned fallback_cycles_per_block = 40;
+  HealthConfig health;
+  // Driver options for the Healthy hardware path…
+  accel::SessionOptions healthy_opts{.timeout_cycles = 1024,
+                                     .max_retries = 2,
+                                     .backoff_cycles = 16};
+  // …and the tightened Degraded ones (shorter watchdog, one retry, so a
+  // sick device wastes less of everyone's cycle budget per failure).
+  accel::SessionOptions degraded_opts{.timeout_cycles = 256,
+                                      .max_retries = 1,
+                                      .backoff_cycles = 8};
+  // Canary probe options (probation must not hang on a wedged device).
+  accel::SessionOptions canary_opts{.timeout_cycles = 512,
+                                    .max_retries = 1,
+                                    .backoff_cycles = 8};
+};
+
+// One tenant as the service sees it: an accelerator principal plus the key
+// material the service provisioned for it (which is what makes both the
+// software fallback and canary re-provisioning possible).
+struct TenantSpec {
+  unsigned user = 0;         // accelerator user id (already addUser'ed)
+  unsigned key_slot = 0;     // round-key RAM slot
+  unsigned cell_base = 0;    // scratchpad cells used to (re)load the key
+  std::vector<std::uint8_t> key;  // raw AES-128 key bytes
+  lattice::Conf key_conf{};  // ck of the provisioned key
+  std::size_t queue_depth = 16;
+};
+
+enum class ServedBy { Hardware, SoftwareFallback, None };
+
+enum class CompletionStatus {
+  Ok,
+  Suppressed,    // label policy refused the release (hardware OR fallback)
+  TimedOut,      // transient budget exhausted on a wedged device
+  FaultAborted,  // fail-secure squash survived all requeues
+  Dropped,       // overflow-buffer loss survived all requeues
+  Rejected,      // deterministic submit refusal (e.g. zeroized slot)
+  Shed,          // evicted by the tenant's own ShedOldest admission policy
+};
+
+std::string toString(CompletionStatus s);
+std::string toString(ServedBy s);
+
+struct Completion {
+  std::uint64_t ticket = 0;
+  unsigned tenant = 0;
+  CompletionStatus status = CompletionStatus::Ok;
+  ServedBy served_by = ServedBy::None;
+  aes::Block data{};
+  std::uint64_t submit_cycle = 0;
+  std::uint64_t complete_cycle = 0;
+};
+
+// Why an offered block was not queued.
+enum class AdmitError { QueueFull, Backpressure };
+
+struct SubmitResult {
+  bool admitted = false;
+  std::uint64_t ticket = 0;  // valid when admitted (and for shed records)
+  AdmitError error = AdmitError::QueueFull;
+};
+
+// Aggregate service counters (surfaced next to the leakage/perf metrics).
+struct ServiceStats {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_backpressure = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed_hw = 0;
+  std::uint64_t completed_fallback = 0;
+  std::uint64_t fallback_suppressed = 0;  // label check refused in degraded mode
+  std::uint64_t hw_transient_failures = 0;
+  std::uint64_t requeues = 0;
+  std::uint64_t canary_rounds = 0;
+  std::uint64_t canary_failures = 0;
+  std::uint64_t key_reprovisions = 0;
+
+  std::string toJson() const;
+};
+
+class AccelService {
+ public:
+  AccelService(accel::AesAccelerator& acc, ServiceConfig cfg);
+
+  // Provisions the tenant's key into its slot (throws on refusal — a
+  // legitimate setup step must not fail silently) and registers its queue.
+  // Returns the tenant index used by submit()/fetch().
+  unsigned addTenant(const TenantSpec& spec);
+
+  // Offer one block. Admission control may refuse it (result.admitted ==
+  // false) or, under ShedOldest, evict the tenant's oldest queued request
+  // (which then surfaces as a Shed completion).
+  SubmitResult submit(unsigned tenant, const aes::Block& data,
+                      bool decrypt = false);
+
+  // Pop the tenant's next completion, oldest first.
+  std::optional<Completion> fetch(unsigned tenant);
+
+  // One scheduling round: serve up to quota_per_round blocks per tenant
+  // (hardware or fallback per the current health state), advance the error
+  // budget window, and run canary probes when probation opens. Returns the
+  // number of requests resolved this round.
+  unsigned pump();
+
+  // Pump until every queue is empty or the device-cycle budget is spent.
+  void runUntilIdle(std::uint64_t max_device_cycles);
+
+  HealthState health() const { return monitor_.state(); }
+  const HealthMonitor& monitor() const { return monitor_; }
+  const ServiceStats& stats() const { return stats_; }
+  std::size_t queued(unsigned tenant) const {
+    return queues_.at(tenant).size();
+  }
+  std::size_t totalQueued() const;
+  std::uint64_t completedOf(unsigned tenant) const {
+    return completed_per_tenant_.at(tenant);
+  }
+  const accel::AccelSession& session(unsigned tenant) const {
+    return sessions_.at(tenant);
+  }
+
+ private:
+  struct Request {
+    std::uint64_t ticket = 0;
+    aes::Block data{};
+    bool decrypt = false;
+    std::uint64_t submit_cycle = 0;
+    unsigned requeues = 0;
+  };
+
+  void logTransitions();
+  void applyStateOptions();
+  void serveOne(unsigned tenant, Request req);
+  void serveHardware(unsigned tenant, Request req);
+  void serveFallback(unsigned tenant, const Request& req);
+  void complete(unsigned tenant, const Request& req, CompletionStatus st,
+                ServedBy by, const aes::Block& data);
+  void sampleWindowIfDue();
+  void runCanaries();
+  bool reprovisionKey(unsigned tenant);
+
+  accel::AesAccelerator& acc_;
+  ServiceConfig cfg_;
+  HealthMonitor monitor_;
+  std::vector<TenantSpec> tenants_;
+  std::vector<accel::AccelSession> sessions_;
+  std::vector<aes::ExpandedKey> golden_;  // fallback + canary expectations
+  std::vector<std::deque<Request>> queues_;
+  std::vector<std::deque<Completion>> completions_;
+  std::vector<std::uint64_t> completed_per_tenant_;
+  ServiceStats stats_;
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t window_start_cycle_ = 0;
+  accel::SessionTelemetry window_base_;  // telemetry at last window sample
+  std::size_t logged_transitions_ = 0;
+  unsigned rr_next_ = 0;  // round-robin start tenant for fairness
+};
+
+}  // namespace aesifc::soc

@@ -71,6 +71,7 @@ WorkloadResult runSharedWorkload(AesAccelerator& acc, const TenantSetup& setup,
                                  const WorkloadConfig& cfg) {
   Rng rng{cfg.seed};
   WorkloadResult result;
+  result.per_user_completed.assign(setup.users.size(), 0);
 
   struct Pending {
     aes::Block pt;
@@ -119,6 +120,7 @@ WorkloadResult runSharedWorkload(AesAccelerator& acc, const TenantSetup& setup,
         auto it = inflight.find(out->req_id);
         if (it == inflight.end()) continue;
         ++result.blocks_completed;
+        ++result.per_user_completed[it->second.setup_idx];
         latencies.push_back(out->complete_cycle - out->accept_cycle);
         if (cfg.verify && !out->suppressed) {
           const aes::Block want =

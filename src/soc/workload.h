@@ -43,6 +43,27 @@ struct WorkloadResult {
   bool all_correct = true;
   std::uint64_t mismatches = 0;
   LatencyStats latency;
+  // Blocks completed per setup index (index 0 is the supervisor and stays
+  // 0) — the fairness evidence: under fair arbitration no tenant starves.
+  std::vector<std::uint64_t> per_user_completed;
+  // min/max over the tenant entries of per_user_completed; a fairness
+  // ratio close to 1.0 means round-robin kept every tenant moving.
+  double fairnessRatio() const {
+    std::uint64_t lo = 0, hi = 0;
+    bool first = true;
+    for (std::size_t i = 1; i < per_user_completed.size(); ++i) {
+      const auto v = per_user_completed[i];
+      if (first) {
+        lo = hi = v;
+        first = false;
+      } else {
+        if (v < lo) lo = v;
+        if (v > hi) hi = v;
+      }
+    }
+    return hi == 0 ? 1.0
+                   : static_cast<double>(lo) / static_cast<double>(hi);
+  }
 };
 
 // Streams encryption traffic from every tenant through the accelerator

@@ -127,6 +127,70 @@ TEST(DriverRobustness, DroppedResponseRecoveredByRetryWithoutDuplicate) {
   r.acc.setTickHook(nullptr);
 }
 
+// Watchdog x duplicate-suppression interaction: the original response of a
+// request whose watchdog already expired arrives only after the retry has
+// completed — and is then ALSO duplicated by the bus. The late original must
+// be consumed exactly once (credited to its request, the replayed copy and
+// the retry's own response discarded as stale), and nothing may leak into a
+// later request's result.
+TEST(DriverRobustness, LateResponseAfterExpiredWatchdogAndCompletedRetry) {
+  Rig r;
+  SessionOptions opts;
+  opts.timeout_cycles = 120;
+  opts.max_retries = 2;
+  opts.backoff_cycles = 8;
+  AccelSession s{r.acc, r.alice, 1, opts};
+
+  // Hold the receiver so attempt 1's response is parked in the device.
+  r.acc.setReceiverReady(r.alice, false);
+  bool reopened = false;
+  bool duplicated = false;
+  r.acc.setTickHook([&] {
+    // Reopen mid-retry: attempt 1's watchdog has long expired and attempt 2
+    // is in flight. The parked original then drains FIRST (per-user FIFO) —
+    // i.e. it arrives after its own watchdog gave up on it.
+    if (!reopened && r.acc.cycle() >= 170) {
+      r.acc.setReceiverReady(r.alice, true);
+      reopened = true;
+    }
+    // And the bus replays it once, so two copies of the late original plus
+    // the retry's response are all live at the same time.
+    if (reopened && !duplicated && r.acc.pendingOutputs(r.alice) > 0) {
+      ASSERT_TRUE(r.acc.injectDuplicateOutput(r.alice));
+      duplicated = true;
+    }
+  });
+
+  aes::Block pt;
+  for (auto& b : pt) b = 0x5a;
+  const auto res = s.encryptBlock(pt);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(*res, aes::encryptBlock(pt, r.golden));
+  EXPECT_TRUE(reopened);
+  EXPECT_TRUE(duplicated);
+  EXPECT_GE(s.retries(), 1u);
+  EXPECT_EQ(s.lastStatus(), AccelStatus::Ok);
+  r.acc.setTickHook(nullptr);
+
+  // Surviving stale copies (the duplicate and/or the retry's response) must
+  // not corrupt later traffic: run two more operations with distinct
+  // plaintexts and check both against the golden model.
+  aes::Block pt2, pt3;
+  for (auto& b : pt2) b = 0x5b;
+  for (auto& b : pt3) b = 0x5c;
+  const auto res2 = s.encryptBlock(pt2);
+  ASSERT_TRUE(res2.has_value());
+  EXPECT_EQ(*res2, aes::encryptBlock(pt2, r.golden));
+  const auto res3 = s.decryptBlock(*res2);
+  ASSERT_TRUE(res3.has_value());
+  EXPECT_EQ(*res3, pt2);
+  EXPECT_NE(*res2, *res);  // sanity: distinct results, no cross-credit
+
+  // Terminal-outcome telemetry: exactly the operations we ran, all Ok.
+  EXPECT_EQ(s.telemetry().ok, 3u);
+  EXPECT_EQ(s.telemetry().transientFailures(), 0u);
+}
+
 TEST(DriverRobustness, SuppressionIsFinalAndNeverRetried) {
   Rig r;
   // The supervisor provisions the master key (ck = top): a regular user's

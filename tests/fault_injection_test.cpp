@@ -9,6 +9,7 @@
 #include "accel/driver.h"
 #include "aes/cipher.h"
 #include "ifc/tracker.h"
+#include "soc/fault_injector.h"
 
 namespace aesifc::accel {
 namespace {
@@ -45,6 +46,23 @@ TEST(FaultInjection, Parity64AndLabelParity) {
   Label flipped = l;
   flipped.c = flipped.c.join(Conf::category(2));
   EXPECT_NE(labelParity(l), labelParity(flipped));
+}
+
+// The scrub rings must be silent on a quiet device. This is easy to break
+// subtly: the integrity digests have a nonzero reset value, so power-on
+// must stamp them to match the zeroed storage or the slow ring "detects"
+// corruption in never-written cells and slots.
+TEST(FaultInjection, QuietDeviceScrubFindsNothing) {
+  Rig r;
+  AccelSession session{r.acc, r.alice, 1, {}};
+  aes::Block pt{};
+  for (unsigned i = 0; i < 4; ++i) {
+    pt[0] = static_cast<std::uint8_t>(i);
+    EXPECT_TRUE(session.encryptBlock(pt).has_value());
+  }
+  r.acc.run(64);  // let the slow ring visit every site several times
+  EXPECT_EQ(r.acc.stats().faults_detected, 0u);
+  EXPECT_EQ(r.acc.events().size(), 0u);
 }
 
 TEST(FaultInjection, ScratchTagFaultQuarantinesUpward) {
@@ -264,6 +282,130 @@ TEST(FaultInjection, TrackerShowsParityGateKeepsSecretOffPublicPort) {
   leak.poke("squashed", BitVec(8, 0), kPT);
   leak.step();
   EXPECT_GE(leak.eventCount(ifc::RuntimeEvent::Kind::OutputLeak), 1u);
+}
+
+// --- Replay traces ----------------------------------------------------------
+
+// The trace text form round-trips losslessly.
+TEST(FaultReplay, TraceSerializationRoundTrips) {
+  std::vector<soc::FaultRecord> recs;
+  soc::FaultRecord a;
+  a.cycle = 17;
+  a.site = FaultSite::StageTag;
+  a.index = 3;
+  a.bit = 21;
+  a.applied = true;
+  soc::FaultRecord b;
+  b.cycle = 404;
+  b.site = FaultSite::HostSpuriousSubmit;
+  b.index = 2;
+  b.bit = 9;  // key_slot 4, decrypt
+  b.applied = false;
+  recs.push_back(a);
+  recs.push_back(b);
+
+  const auto parsed = soc::parseTrace(soc::traceToString(recs));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].cycle, 17u);
+  EXPECT_EQ(parsed[0].site, FaultSite::StageTag);
+  EXPECT_EQ(parsed[0].index, 3u);
+  EXPECT_EQ(parsed[0].bit, 21u);
+  EXPECT_TRUE(parsed[0].applied);
+  EXPECT_EQ(parsed[1].site, FaultSite::HostSpuriousSubmit);
+  EXPECT_FALSE(parsed[1].applied);
+
+  EXPECT_THROW(soc::parseTrace("12 not-a-site 0 0 1"), std::invalid_argument);
+  EXPECT_THROW(soc::parseTrace("garbage"), std::invalid_argument);
+}
+
+// A recorded campaign replays exactly: same workload + replayed trace give
+// the same device-side fault counters and the same per-site application
+// profile — which is what makes a failing seed debuggable.
+TEST(FaultReplay, ReplayedCampaignReproducesRecordedRun) {
+  auto runOnce = [](soc::FaultInjector* (*mk)(AesAccelerator&,
+                                              std::vector<unsigned>,
+                                              const std::string&),
+                    const std::string& trace_text, std::string* trace_out,
+                    AesAccelerator::Stats* stats_out,
+                    soc::FaultCampaignReport* report_out) {
+    AcceleratorConfig cfg;
+    cfg.out_buffer_depth = 16;
+    AesAccelerator acc{cfg};
+    acc.addUser(Principal::supervisor());
+    const unsigned alice = acc.addUser(Principal::user("alice", 1));
+    EXPECT_TRUE(loadKey128(acc, alice, 1, 0, testKey(), Conf::category(1)));
+
+    soc::FaultInjector* inj = mk(acc, {alice}, trace_text);
+    acc.setTickHook([&] { inj->tick(); });
+
+    SessionOptions opts;
+    opts.timeout_cycles = 600;
+    opts.max_retries = 2;
+    opts.backoff_cycles = 8;
+    AccelSession session{acc, alice, 1, opts};
+    for (unsigned i = 0; i < 24; ++i) {
+      aes::Block pt;
+      for (unsigned b = 0; b < 16; ++b)
+        pt[b] = static_cast<std::uint8_t>(i + b);
+      const auto r = session.encryptBlock(pt);
+      if (!r.has_value() && r.status() == AccelStatus::Rejected) {
+        // Fail-secure zeroization: re-provision, as a resilient host would.
+        loadKey128(acc, alice, 1, 0, testKey(), Conf::category(1));
+      }
+    }
+    acc.setTickHook(nullptr);
+    inj->releaseStuckReceivers();
+    *trace_out = soc::traceToString(inj->trace());
+    *stats_out = acc.stats();
+    *report_out = inj->report();
+    delete inj;
+  };
+
+  // Record with a live (seeded-RNG) campaign…
+  std::string trace_a;
+  AesAccelerator::Stats stats_a;
+  soc::FaultCampaignReport report_a;
+  runOnce(
+      [](AesAccelerator& acc, std::vector<unsigned> users,
+         const std::string&) {
+        soc::FaultCampaignConfig fcfg;
+        fcfg.seed = 321;
+        fcfg.fault_rate = 0.02;
+        return new soc::FaultInjector{acc, fcfg, std::move(users)};
+      },
+      "", &trace_a, &stats_a, &report_a);
+  ASSERT_GT(report_a.injected, 0u);
+
+  // …then replay the dumped trace against a fresh rig and the same traffic.
+  std::string trace_b;
+  AesAccelerator::Stats stats_b;
+  soc::FaultCampaignReport report_b;
+  runOnce(
+      [](AesAccelerator& acc, std::vector<unsigned> users,
+         const std::string& text) {
+        soc::FaultCampaignConfig fcfg;
+        return new soc::FaultInjector{acc, fcfg, std::move(users),
+                                      soc::parseTrace(text)};
+      },
+      trace_a, &trace_b, &stats_b, &report_b);
+
+  EXPECT_EQ(report_b.injected, report_a.injected);
+  EXPECT_EQ(report_b.applied, report_a.applied);
+  EXPECT_EQ(report_b.host_drops, report_a.host_drops);
+  EXPECT_EQ(report_b.host_duplicates, report_a.host_duplicates);
+  EXPECT_EQ(report_b.host_stuck, report_a.host_stuck);
+  EXPECT_EQ(report_b.host_spurious, report_a.host_spurious);
+  for (unsigned s = 0; s < kHwFaultSites; ++s) {
+    EXPECT_EQ(report_b.applied_by_site[s], report_a.applied_by_site[s])
+        << toString(static_cast<FaultSite>(s));
+    EXPECT_EQ(report_b.detected_by_site[s], report_a.detected_by_site[s])
+        << toString(static_cast<FaultSite>(s));
+  }
+  EXPECT_EQ(stats_b.faults_detected, stats_a.faults_detected);
+  EXPECT_EQ(stats_b.fault_aborted, stats_a.fault_aborted);
+  EXPECT_EQ(stats_b.completed, stats_a.completed);
+  // The replay emitted the identical trace.
+  EXPECT_EQ(trace_b, trace_a);
 }
 
 }  // namespace

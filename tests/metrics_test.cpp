@@ -104,5 +104,42 @@ TEST(LatencyStats, EmptyIsZeroed) {
   EXPECT_EQ(s.mean, 0.0);
 }
 
+TEST(RobustnessStats, AccumulateSumsCountersAndRecomputesRates) {
+  RobustnessStats a;
+  a.faults_injected = 10;
+  a.faults_detected = 8;
+  a.faults_recovered = 8;
+  a.fault_aborts = 2;
+  a.retries = 3;
+  RobustnessStats b;
+  b.faults_injected = 10;
+  b.faults_detected = 2;
+  b.faults_recovered = 1;
+  b.timeouts = 4;
+  b.drops = 5;
+  a += b;
+  EXPECT_EQ(a.faults_injected, 20u);
+  EXPECT_EQ(a.faults_detected, 10u);
+  EXPECT_EQ(a.faults_recovered, 9u);
+  EXPECT_EQ(a.fault_aborts, 2u);
+  EXPECT_EQ(a.retries, 3u);
+  EXPECT_EQ(a.timeouts, 4u);
+  EXPECT_EQ(a.drops, 5u);
+  // The rates derive from the summed raw counters, not an average of rates.
+  EXPECT_DOUBLE_EQ(a.detectionRate(), 0.5);
+  EXPECT_DOUBLE_EQ(a.recoveryRate(), 0.9);
+}
+
+TEST(RobustnessStats, QuietRunRatesAreOneAndJsonIsWellFormed) {
+  RobustnessStats s;
+  EXPECT_DOUBLE_EQ(s.detectionRate(), 1.0);
+  EXPECT_DOUBLE_EQ(s.recoveryRate(), 1.0);
+  const std::string j = s.toJson();
+  EXPECT_NE(j.find("\"faults_injected\":0"), std::string::npos);
+  EXPECT_NE(j.find("\"detection_rate\":1"), std::string::npos);
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+}
+
 }  // namespace
 }  // namespace aesifc::soc
