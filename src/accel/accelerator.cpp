@@ -370,6 +370,27 @@ bool AesAccelerator::submit(BlockRequest req) {
   return true;
 }
 
+std::size_t AesAccelerator::submitBatch(const std::vector<BlockRequest>& reqs) {
+  std::size_t accepted = 0;
+  for (const auto& r : reqs) {
+    if (!submit(r)) break;
+    ++accepted;
+  }
+  return accepted;
+}
+
+std::size_t AesAccelerator::fetchOutputs(unsigned user,
+                                         std::vector<BlockResponse>& out) {
+  auto& q = output_queues_.at(user);
+  const std::size_t n = q.size();
+  out.reserve(out.size() + n);
+  while (!q.empty()) {
+    out.push_back(std::move(q.front()));
+    q.pop_front();
+  }
+  return n;
+}
+
 void AesAccelerator::setReceiverReady(unsigned user, bool ready) {
   receiver_ready_.at(user) = ready;
 }

@@ -22,12 +22,6 @@ aes::Block xorBlocks(aes::Block a, const aes::Block& b) {
   return a;
 }
 
-void incrementCounter(aes::Block& ctr) {
-  for (int i = 15; i >= 8; --i) {
-    if (++ctr[static_cast<unsigned>(i)] != 0) break;
-  }
-}
-
 }  // namespace
 
 std::string toString(AccelStatus s) {
@@ -82,23 +76,26 @@ AccelResult<std::vector<aes::Block>> AccelSession::runBatch(
   std::map<std::uint64_t, std::size_t> order;
 
   AccelStatus attempt_fail = AccelStatus::Ok;
+  std::vector<BlockResponse> drained;  // reused batch-drain buffer
   auto drain = [&] {
-    while (auto resp = acc_.fetchOutput(user_)) {
-      auto it = order.find(resp->req_id);
+    drained.clear();
+    acc_.fetchOutputs(user_, drained);
+    for (const auto& resp : drained) {
+      auto it = order.find(resp.req_id);
       if (it == order.end()) continue;  // unknown / already-consumed id
       const std::size_t idx = it->second;
       order.erase(it);
       if (st[idx] == St::Done || st[idx] == St::Supp) continue;  // stale
-      if (resp->suppressed) {
+      if (resp.suppressed) {
         st[idx] = St::Supp;  // security refusal: final, never retried
-      } else if (resp->fault_aborted || resp->dropped) {
+      } else if (resp.fault_aborted || resp.dropped) {
         st[idx] = St::Fail;
         if (attempt_fail == AccelStatus::Ok) {
-          attempt_fail = resp->fault_aborted ? AccelStatus::FaultAborted
-                                             : AccelStatus::Dropped;
+          attempt_fail = resp.fault_aborted ? AccelStatus::FaultAborted
+                                            : AccelStatus::Dropped;
         }
       } else {
-        out[idx] = resp->data;
+        out[idx] = resp.data;
         st[idx] = St::Done;
       }
     }
@@ -202,6 +199,16 @@ AccelResult<std::vector<aes::Block>> AccelSession::runBatch(
   }
 }
 
+AccelResult<std::vector<aes::Block>> AccelSession::encryptBlocks(
+    const std::vector<aes::Block>& pts) {
+  return runBatch(pts, false);
+}
+
+AccelResult<std::vector<aes::Block>> AccelSession::decryptBlocks(
+    const std::vector<aes::Block>& cts) {
+  return runBatch(cts, true);
+}
+
 AccelResult<aes::Block> AccelSession::encryptBlock(const aes::Block& pt) {
   auto r = runBatch({pt}, false);
   if (!r) return r.status();
@@ -245,7 +252,7 @@ AccelResult<aes::Bytes> AccelSession::ctrCrypt(const aes::Bytes& data,
   aes::Block ctr = nonce;
   for (auto& c : counters) {
     c = ctr;
-    incrementCounter(ctr);
+    aes::incCounterBe(ctr, 64);  // CTR counts in the low 64 bits
   }
   auto ks = runBatch(counters, false);  // keystream, fully pipelined
   if (!ks) return ks.status();

@@ -132,6 +132,17 @@ class AccelSession {
   AccelResult<aes::Block> encryptBlock(const aes::Block& pt);
   AccelResult<aes::Block> decryptBlock(const aes::Block& ct);
 
+  // Batch submit/drain: all blocks submitted back-to-back (one per cycle)
+  // so the pipeline fills, responses collected in submission order. K
+  // blocks cost ~K + pipeline-depth cycles instead of K x (depth + 1) —
+  // this is the path a batching service layer uses to reach the engine's
+  // 1 block/cycle design point. One terminal verdict covers the whole
+  // batch (per-tenant label verdicts are uniform across a batch).
+  AccelResult<std::vector<aes::Block>> encryptBlocks(
+      const std::vector<aes::Block>& pts);
+  AccelResult<std::vector<aes::Block>> decryptBlocks(
+      const std::vector<aes::Block>& cts);
+
   // Pipelined modes: one submission per cycle, all blocks in flight.
   AccelResult<aes::Bytes> ecbEncrypt(const aes::Bytes& data);
   AccelResult<aes::Bytes> ecbDecrypt(const aes::Bytes& data);

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "aes/modes.h"
+
 namespace aesifc::aes {
 
 namespace {
@@ -28,11 +30,9 @@ Tag128 xorTags(Tag128 a, const Tag128& b) {
   return a;
 }
 
-void inc32(Block& ctr) {
-  for (int i = 15; i >= 12; --i) {
-    if (++ctr[static_cast<unsigned>(i)] != 0) break;
-  }
-}
+// SP 800-38D inc32 via the shared counter helper (32-bit width; CTR mode
+// uses the same helper at 64 bits).
+void inc32(Block& ctr) { incCounterBe(ctr, 32); }
 
 // GCTR: counter-mode keystream starting at `icb` (inclusive).
 std::vector<std::uint8_t> gctr(const ExpandedKey& key, Block icb,
@@ -46,6 +46,36 @@ std::vector<std::uint8_t> gctr(const ExpandedKey& key, Block icb,
     inc32(ctr);
   }
   return out;
+}
+
+// Multiply by x: one right shift plus the x^128 = 1 + x + x^2 + x^7
+// reduction (the 0xe1 byte in this bit order).
+Tag128 mulX(const Tag128& v) {
+  const bool lsb = v[15] & 1;
+  Tag128 out = shiftRight1(v);
+  if (lsb) out[0] ^= 0xe1;
+  return out;
+}
+
+// Reduction table for the 4-bit Horner step: rem4[n] holds the two bytes
+// xored into z[0..1] after a 4-bit right shift drops nibble n (its
+// x^124..x^127 coefficients wrapping through the reduction polynomial).
+// Built from the same single-bit mulX step the naive oracle uses, so the
+// two paths cannot disagree on the bit convention.
+const std::array<std::array<std::uint8_t, 2>, 16>& rem4Table() {
+  static const auto table = [] {
+    std::array<std::array<std::uint8_t, 2>, 16> t{};
+    for (unsigned n = 0; n < 16; ++n) {
+      Tag128 v{};
+      v[15] = static_cast<std::uint8_t>(n);
+      for (unsigned k = 0; k < 4; ++k) v = mulX(v);
+      // Only the reduction contribution survives the four shifts, and it
+      // lands entirely in the first two bytes (degree <= 10).
+      t[n] = {v[0], v[1]};
+    }
+    return t;
+  }();
+  return table;
 }
 
 void appendPadded(std::vector<std::uint8_t>& s,
@@ -91,7 +121,57 @@ Tag128 gf128Mul(const Tag128& x, const Tag128& y) {
   return z;
 }
 
+GhashKey::GhashKey(const Tag128& h) {
+  // Basis entries: table_[n] = n·H where bit 3 of the nibble is the x^0
+  // coefficient (the leftmost bit of the group, matching the block's
+  // leftmost-bit-is-x^0 convention).
+  table_[8] = h;
+  table_[4] = mulX(table_[8]);
+  table_[2] = mulX(table_[4]);
+  table_[1] = mulX(table_[2]);
+  for (unsigned n = 3; n < 16; ++n) {
+    if ((n & (n - 1)) == 0) continue;  // powers of two are basis entries
+    table_[n] = xorTags(table_[n & (n - 1)], table_[n & ~(n - 1)]);
+  }
+}
+
+Tag128 GhashKey::mul(const Tag128& x) const {
+  const auto& rem = rem4Table();
+  Tag128 z{};
+  // Horner over the 32 nibbles of x, highest powers first (the low nibble
+  // of byte 15 holds x^124..x^127): z = z·x^4 ^ (nibble · H).
+  for (int b = 15; b >= 0; --b) {
+    for (unsigned half = 0; half < 2; ++half) {
+      const unsigned dropped = z[15] & 0x0F;
+      for (int i = 15; i > 0; --i) {
+        z[static_cast<unsigned>(i)] = static_cast<std::uint8_t>(
+            (z[static_cast<unsigned>(i)] >> 4) |
+            (z[static_cast<unsigned>(i - 1)] << 4));
+      }
+      z[0] >>= 4;
+      z[0] ^= rem[dropped][0];
+      z[1] ^= rem[dropped][1];
+      const unsigned nib =
+          half == 0 ? (x[static_cast<unsigned>(b)] & 0x0F)
+                    : (x[static_cast<unsigned>(b)] >> 4);
+      z = xorTags(z, table_[nib]);
+    }
+  }
+  return z;
+}
+
 Tag128 ghash(const Tag128& h, const std::vector<std::uint8_t>& data) {
+  const GhashKey key{h};
+  Tag128 y{};
+  for (std::size_t off = 0; off + 16 <= data.size(); off += 16) {
+    Tag128 blk{};
+    std::memcpy(blk.data(), data.data() + off, 16);
+    y = key.mul(xorTags(y, blk));
+  }
+  return y;
+}
+
+Tag128 ghashNaive(const Tag128& h, const std::vector<std::uint8_t>& data) {
   Tag128 y{};
   for (std::size_t off = 0; off + 16 <= data.size(); off += 16) {
     Tag128 blk{};

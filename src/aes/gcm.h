@@ -16,11 +16,31 @@ namespace aesifc::aes {
 using Tag128 = std::array<std::uint8_t, 16>;
 
 // GF(2^128) multiplication per SP 800-38D Section 6.3 (block = bit string,
-// leftmost bit is x^0). Exposed for tests.
+// leftmost bit is x^0), bit-at-a-time from the definition. This is the test
+// oracle for the table-driven path below — slow but obviously correct.
 Tag128 gf128Mul(const Tag128& x, const Tag128& y);
 
-// GHASH_H over a byte string that is already a multiple of 16 bytes.
+// Precomputed 4-bit multiplication tables for a fixed hash subkey H
+// (Shoup's method): one 16-entry table of n·H products plus a shared
+// nibble-reduction table, so a product costs 32 shift-xor steps instead of
+// the definition's 128. Built once per GHASH key.
+class GhashKey {
+ public:
+  explicit GhashKey(const Tag128& h);
+  // x · H in GF(2^128).
+  Tag128 mul(const Tag128& x) const;
+
+ private:
+  std::array<Tag128, 16> table_{};
+};
+
+// GHASH_H over a byte string that is already a multiple of 16 bytes
+// (table-driven; the production path).
 Tag128 ghash(const Tag128& h, const std::vector<std::uint8_t>& data);
+
+// Bit-at-a-time GHASH_H from the definition — kept as the oracle the tests
+// compare the table-driven path against.
+Tag128 ghashNaive(const Tag128& h, const std::vector<std::uint8_t>& data);
 
 struct GcmResult {
   std::vector<std::uint8_t> ciphertext;

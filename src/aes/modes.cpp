@@ -64,6 +64,14 @@ Bytes cbcDecrypt(const Bytes& in, const ExpandedKey& key, const Iv& iv) {
   return out;
 }
 
+void incCounterBe(Block& ctr, unsigned width_bits) {
+  assert(width_bits % 8 == 0 && width_bits > 0 && width_bits <= 128);
+  const unsigned first = 16 - width_bits / 8;
+  for (int i = 15; i >= static_cast<int>(first); --i) {
+    if (++ctr[static_cast<unsigned>(i)] != 0) break;
+  }
+}
+
 Bytes ctrCrypt(const Bytes& in, const ExpandedKey& key, const Iv& nonce) {
   Bytes out(in.size());
   Block ctr = nonce;
@@ -71,10 +79,7 @@ Bytes ctrCrypt(const Bytes& in, const ExpandedKey& key, const Iv& nonce) {
     const Block ks = encryptBlock(ctr, key);
     const std::size_t n = std::min<std::size_t>(16, in.size() - off);
     for (std::size_t i = 0; i < n; ++i) out[off + i] = in[off + i] ^ ks[i];
-    // Increment the big-endian counter in bytes 15..8.
-    for (int i = 15; i >= 8; --i) {
-      if (++ctr[static_cast<unsigned>(i)] != 0) break;
-    }
+    incCounterBe(ctr, 64);
   }
   return out;
 }

@@ -21,6 +21,13 @@ Bytes ecbDecrypt(const Bytes& in, const ExpandedKey& key);
 Bytes cbcEncrypt(const Bytes& in, const ExpandedKey& key, const Iv& iv);
 Bytes cbcDecrypt(const Bytes& in, const ExpandedKey& key, const Iv& iv);
 
+// Increment the big-endian counter held in the trailing `width_bits` bits
+// of the block, leaving the leading nonce bytes untouched on wraparound.
+// CTR mode counts in the low 64 bits; GCM's GCTR counts in the low 32
+// (SP 800-38D inc32). Every counter mode must go through this one helper so
+// the two widths cannot silently diverge again.
+void incCounterBe(Block& ctr, unsigned width_bits);
+
 // CTR: any length; big-endian counter in the low 8 bytes of the IV block.
 Bytes ctrCrypt(const Bytes& in, const ExpandedKey& key, const Iv& nonce);
 

@@ -1,5 +1,6 @@
 #include "soc/metrics.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <map>
@@ -48,6 +49,16 @@ double pearson(const std::vector<double>& x, const std::vector<double>& y) {
   return sxy / std::sqrt(sxx * syy);
 }
 
+double percentile(std::vector<std::uint64_t> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  // Nearest rank: the ceil(q/100 * N)-th smallest sample (1-based).
+  const double rank = std::ceil(q / 100.0 * static_cast<double>(samples.size()));
+  std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  if (idx >= samples.size()) idx = samples.size() - 1;
+  return static_cast<double>(samples[idx]);
+}
+
 LatencyStats latencyStats(const std::vector<std::uint64_t>& samples) {
   LatencyStats s;
   if (samples.empty()) return s;
@@ -67,7 +78,28 @@ LatencyStats latencyStats(const std::vector<std::uint64_t>& samples) {
     var += d * d;
   }
   s.stddev = std::sqrt(var / static_cast<double>(samples.size()));
+
+  std::vector<std::uint64_t> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  auto nearest_rank = [&](double q) {
+    const double rank =
+        std::ceil(q / 100.0 * static_cast<double>(sorted.size()));
+    std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+    if (idx >= sorted.size()) idx = sorted.size() - 1;
+    return static_cast<double>(sorted[idx]);
+  };
+  s.p50 = nearest_rank(50.0);
+  s.p95 = nearest_rank(95.0);
+  s.p99 = nearest_rank(99.0);
   return s;
+}
+
+std::string LatencyStats::toJson() const {
+  std::ostringstream os;
+  os << "{\"count\":" << count << ",\"mean\":" << mean
+     << ",\"stddev\":" << stddev << ",\"min\":" << min << ",\"max\":" << max
+     << ",\"p50\":" << p50 << ",\"p95\":" << p95 << ",\"p99\":" << p99 << "}";
+  return os.str();
 }
 
 std::string RobustnessStats::toJson() const {

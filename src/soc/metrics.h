@@ -15,15 +15,33 @@ namespace aesifc::soc {
 double mutualInformationBits(const std::vector<int>& x,
                              const std::vector<int>& y);
 
-// Pearson correlation coefficient; 0 when either side is constant.
+// Pearson correlation coefficient; 0 when either side is constant or when
+// fewer than two samples are given (a correlation needs variance on both
+// sides to be meaningful).
 double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+// Nearest-rank percentile (q in [0, 100]) over the samples; the q-th
+// percentile is the smallest sample such that at least q% of the samples
+// are <= it. Returns 0.0 on an empty sample set.
+double percentile(std::vector<std::uint64_t> samples, double q);
 
 struct LatencyStats {
   double mean = 0.0;
+  // POPULATION standard deviation (divide by N, not N-1): the samples are
+  // the complete set of observed completions for the run being reported,
+  // not a sample drawn from a larger population. 0 for count < 2.
   double stddev = 0.0;
   std::uint64_t min = 0;
   std::uint64_t max = 0;
   std::size_t count = 0;
+  // Nearest-rank percentiles; equal to the single sample when count == 1
+  // and 0 when the sample set is empty (count == 0, like every other
+  // field — an empty run reports all-zero stats, never NaN).
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  std::string toJson() const;
 };
 
 LatencyStats latencyStats(const std::vector<std::uint64_t>& samples);
@@ -41,14 +59,22 @@ struct RobustnessStats {
   std::uint64_t timeouts = 0;       // watchdog expiries
   std::uint64_t drops = 0;          // overflow / bus losses
 
-  // Detected / injected; 1.0 for a quiet (fault-free) run.
+  // Detected / injected. The zero-denominator case (a quiet, fault-free
+  // run) reports 1.0 by convention: nothing was missed. Note the rate can
+  // exceed 1.0 when a single injected fault is detected at more than one
+  // point of use (e.g. a corrupted slot caught at submit AND by the scrub
+  // ring) — callers comparing campaigns should treat it as a ratio of
+  // counters, not a probability.
   double detectionRate() const {
     return faults_injected == 0
                ? 1.0
                : static_cast<double>(faults_detected) /
                      static_cast<double>(faults_injected);
   }
-  // Recovered / detected; 1.0 when nothing was detected.
+  // Recovered / detected; the zero-denominator case (nothing detected)
+  // reports 1.0 by convention — nothing detected means nothing was left
+  // unrecovered. Like detectionRate, a ratio of counters, not a
+  // probability.
   double recoveryRate() const {
     return faults_detected == 0
                ? 1.0

@@ -1,0 +1,137 @@
+#include "soc/pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "accel/key_store.h"
+
+namespace aesifc::soc {
+
+namespace {
+
+// Slot 0 per shard is left unused by tenants (supervisor convention), so a
+// shard hosts at most kRoundKeySlots - 1 of them.
+constexpr std::size_t kTenantsPerShard = accel::kRoundKeySlots - 1;
+
+// FNV-1a 64: placement depends only on the tenant's public name — never on
+// key material or traffic — so shard co-residency is data-independent.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+EnginePool::EnginePool(PoolConfig cfg) : cfg_{std::move(cfg)} {
+  if (cfg_.shards == 0) throw std::runtime_error("EnginePool: zero shards");
+  shards_.reserve(cfg_.shards);
+  for (unsigned s = 0; s < cfg_.shards; ++s) {
+    Shard sh;
+    sh.engine = std::make_unique<accel::AesAccelerator>(cfg_.engine);
+    sh.engine->addUser(lattice::Principal::supervisor());  // user 0
+    sh.service = std::make_unique<AccelService>(*sh.engine, cfg_.service);
+    shards_.push_back(std::move(sh));
+  }
+}
+
+unsigned EnginePool::placeShard(const std::string& name) const {
+  const unsigned home =
+      static_cast<unsigned>(fnv1a(name) % shards_.size());
+  unsigned lightest = 0;
+  for (unsigned s = 1; s < shards_.size(); ++s) {
+    if (shards_[s].tenants < shards_[lightest].tenants) lightest = s;
+  }
+  unsigned chosen = home;
+  // Spill only when the home (counting the newcomer) exceeds spill_factor
+  // times the lightest (also counting a newcomer) — sticky by default.
+  const double home_load = static_cast<double>(shards_[home].tenants + 1);
+  const double light_load = static_cast<double>(shards_[lightest].tenants + 1);
+  if (home_load > cfg_.spill_factor * light_load) chosen = lightest;
+  if (shards_[chosen].tenants >= kTenantsPerShard) chosen = lightest;
+  if (shards_[chosen].tenants >= kTenantsPerShard) {
+    throw std::runtime_error("EnginePool: all shards full");
+  }
+  return chosen;
+}
+
+unsigned EnginePool::addTenant(const PoolTenantSpec& spec) {
+  const unsigned shard = placeShard(spec.name);
+  Shard& sh = shards_[shard];
+  const unsigned local = static_cast<unsigned>(sh.tenants);
+
+  TenantSpec t;
+  t.user = sh.engine->addUser(lattice::Principal::user(spec.name, spec.category));
+  t.key_slot = 1 + local;  // slot 0 reserved per shard
+  // Staging cells are re-tagged on every key (re)load, so reusing them
+  // round-robin across a shard's tenants is safe.
+  t.cell_base = (2 * local) % accel::kScratchpadCells;
+  t.key = spec.key;
+  t.key_conf = lattice::Conf::category(spec.category);
+  t.queue_depth = spec.queue_depth;
+
+  const unsigned local_id = sh.service->addTenant(t);
+  ++sh.tenants;
+  routes_.push_back(Route{shard, local_id});
+  return static_cast<unsigned>(routes_.size() - 1);
+}
+
+SubmitResult EnginePool::submit(unsigned tenant, const aes::Block& data,
+                                bool decrypt) {
+  const Route& r = routes_.at(tenant);
+  return shards_[r.shard].service->submit(r.local, data, decrypt);
+}
+
+std::optional<Completion> EnginePool::fetch(unsigned tenant) {
+  const Route& r = routes_.at(tenant);
+  return shards_[r.shard].service->fetch(r.local);
+}
+
+unsigned EnginePool::pump() {
+  unsigned resolved = 0;
+  for (auto& sh : shards_) resolved += sh.service->pump();
+  return resolved;
+}
+
+void EnginePool::runUntilIdle(std::uint64_t max_device_cycles_per_shard) {
+  if (cfg_.parallel_drain && shards_.size() > 1) {
+    std::vector<std::thread> workers;
+    workers.reserve(shards_.size());
+    for (auto& sh : shards_) {
+      // Each worker touches exactly one shard and shards share nothing, so
+      // this is a data-race-free, deterministic fan-out.
+      workers.emplace_back([&sh, max_device_cycles_per_shard] {
+        sh.service->runUntilIdle(max_device_cycles_per_shard);
+      });
+    }
+    for (auto& w : workers) w.join();
+  } else {
+    for (auto& sh : shards_) {
+      sh.service->runUntilIdle(max_device_cycles_per_shard);
+    }
+  }
+}
+
+std::size_t EnginePool::totalQueued() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) n += sh.service->totalQueued();
+  return n;
+}
+
+std::uint64_t EnginePool::maxShardCycle() const {
+  std::uint64_t m = 0;
+  for (const auto& sh : shards_) m = std::max(m, sh.engine->cycle());
+  return m;
+}
+
+ServiceStats EnginePool::aggregateStats() const {
+  ServiceStats total;
+  for (const auto& sh : shards_) total += sh.service->stats();
+  return total;
+}
+
+}  // namespace aesifc::soc

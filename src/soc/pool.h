@@ -1,0 +1,134 @@
+#pragma once
+// Sharded engine pool: N independent accelerator instances behind one
+// submission front end, scaling the single-engine AccelService to cloud
+// tenant counts without weakening the paper's isolation story.
+//
+// The sharding axis IS the security argument:
+//
+//  * Shards share nothing. Each shard owns a private AesAccelerator (its
+//    own key scratchpad, round-key RAM, tag arrays, event ring, cycle
+//    counter) and a private AccelService (its own queues, health monitor,
+//    fallback path). There is no cross-shard state, so a fault, a covert-
+//    channel attempt, or a health incident in one shard cannot perturb
+//    another shard's results or timing — and draining shards on parallel
+//    threads is deterministic because there is nothing to race on.
+//
+//  * Placement is data-independent. A tenant's shard is a sticky hash of
+//    its NAME (with a load-aware spill to the lightest shard when the home
+//    shard is crowded); neither keys nor traffic contents ever influence
+//    placement, so co-residency reveals nothing about secrets.
+//
+//  * Batching stays inside a tenant. The per-shard service drains one
+//    tenant's queue back-to-back into the 30-stage pipe (K blocks in
+//    ~K + depth cycles instead of K x (depth + 1)); it never merges
+//    tenants into one batch and never reorders within a tenant, so
+//    completion order — the observable a co-located tenant could time —
+//    depends only on the scheduler's fixed round-robin, not on data.
+//
+// Capacity: each shard hosts up to kRoundKeySlots - 1 tenants (slot 0 is
+// left to the shard supervisor by convention); the scratchpad cells are a
+// reusable staging area, re-tagged per key load.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "soc/service.h"
+
+namespace aesifc::soc {
+
+// One tenant as offered to the pool: the pool picks the shard and the
+// hardware resources (user id, key slot, staging cells) itself.
+struct PoolTenantSpec {
+  std::string name;               // placement key — must be unique
+  unsigned category = 1;          // lattice category of the tenant's label
+  std::vector<std::uint8_t> key;  // raw AES-128 key bytes
+  std::size_t queue_depth = 16;
+};
+
+struct PoolConfig {
+  unsigned shards = 4;
+  // Per-shard templates: every shard gets an identical engine and service
+  // configuration (including ServiceConfig::batch_size).
+  accel::AcceleratorConfig engine;
+  ServiceConfig service;
+  // Load-aware spill: a tenant leaves its hash-home shard only when the
+  // home already holds more than spill_factor x the lightest shard's
+  // tenants (counting the newcomer). 2.0 keeps placement sticky under
+  // balanced load but stops pathological hash clumping.
+  double spill_factor = 2.0;
+  // Drain shards on one worker thread each in runUntilIdle(). Safe (and
+  // bit-identical to the serial drain) because shards share nothing.
+  bool parallel_drain = true;
+};
+
+class EnginePool {
+ public:
+  explicit EnginePool(PoolConfig cfg);
+
+  EnginePool(const EnginePool&) = delete;
+  EnginePool& operator=(const EnginePool&) = delete;
+
+  // Places the tenant (sticky hash + spill), provisions its key on the
+  // chosen shard, and returns the pool-wide tenant id used by submit()/
+  // fetch(). Throws std::runtime_error when every shard is full.
+  unsigned addTenant(const PoolTenantSpec& spec);
+
+  // Admission-controlled submit to the tenant's shard (tickets are
+  // shard-local; pair them with shardOf() when correlating across shards).
+  SubmitResult submit(unsigned tenant, const aes::Block& data,
+                      bool decrypt = false);
+
+  // Pop the tenant's next completion, oldest first.
+  std::optional<Completion> fetch(unsigned tenant);
+
+  // One scheduling round on every shard (serial; deterministic). Returns
+  // requests resolved across the pool.
+  unsigned pump();
+
+  // Drain every shard until idle, each within its own device-cycle budget.
+  // Uses one thread per shard when cfg.parallel_drain (results identical
+  // to the serial order — shards share nothing).
+  void runUntilIdle(std::uint64_t max_device_cycles_per_shard);
+
+  unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
+  unsigned tenants() const { return static_cast<unsigned>(routes_.size()); }
+  unsigned shardOf(unsigned tenant) const { return routes_.at(tenant).shard; }
+  std::size_t tenantsOn(unsigned shard) const {
+    return shards_.at(shard).tenants;
+  }
+  std::size_t totalQueued() const;
+  std::uint64_t maxShardCycle() const;  // wall-clock proxy: slowest shard
+  ServiceStats aggregateStats() const;
+
+  AccelService& shardService(unsigned shard) {
+    return *shards_.at(shard).service;
+  }
+  accel::AesAccelerator& shardEngine(unsigned shard) {
+    return *shards_.at(shard).engine;
+  }
+
+ private:
+  struct Shard {
+    // Engine must outlive (and be built before) the service that holds a
+    // reference to it; unique_ptr keeps both pinned while the vector grows.
+    std::unique_ptr<accel::AesAccelerator> engine;
+    std::unique_ptr<AccelService> service;
+    std::size_t tenants = 0;  // shard-local tenant count (== next local id)
+  };
+  struct Route {
+    unsigned shard = 0;
+    unsigned local = 0;  // tenant index within the shard's AccelService
+  };
+
+  unsigned placeShard(const std::string& name) const;
+
+  PoolConfig cfg_;
+  std::vector<Shard> shards_;
+  std::vector<Route> routes_;
+};
+
+}  // namespace aesifc::soc

@@ -41,10 +41,33 @@ std::string ServiceStats::toJson() const {
      << ",\"completed_fallback\":" << completed_fallback
      << ",\"fallback_suppressed\":" << fallback_suppressed
      << ",\"hw_transient_failures\":" << hw_transient_failures
-     << ",\"requeues\":" << requeues << ",\"canary_rounds\":" << canary_rounds
+     << ",\"requeues\":" << requeues << ",\"batched_runs\":" << batched_runs
+     << ",\"batched_blocks\":" << batched_blocks
+     << ",\"batch_fallbacks\":" << batch_fallbacks
+     << ",\"canary_rounds\":" << canary_rounds
      << ",\"canary_failures\":" << canary_failures
      << ",\"key_reprovisions\":" << key_reprovisions << "}";
   return os.str();
+}
+
+ServiceStats& ServiceStats::operator+=(const ServiceStats& o) {
+  offered += o.offered;
+  admitted += o.admitted;
+  rejected_queue_full += o.rejected_queue_full;
+  rejected_backpressure += o.rejected_backpressure;
+  shed += o.shed;
+  completed_hw += o.completed_hw;
+  completed_fallback += o.completed_fallback;
+  fallback_suppressed += o.fallback_suppressed;
+  hw_transient_failures += o.hw_transient_failures;
+  requeues += o.requeues;
+  batched_runs += o.batched_runs;
+  batched_blocks += o.batched_blocks;
+  batch_fallbacks += o.batch_fallbacks;
+  canary_rounds += o.canary_rounds;
+  canary_failures += o.canary_failures;
+  key_reprovisions += o.key_reprovisions;
+  return *this;
 }
 
 AccelService::AccelService(accel::AesAccelerator& acc, ServiceConfig cfg)
@@ -239,6 +262,79 @@ void AccelService::serveOne(unsigned tenant, Request req) {
   }
 }
 
+void AccelService::serveBatchHardware(unsigned tenant,
+                                      std::vector<Request> run) {
+  auto& session = sessions_[tenant];
+  std::vector<aes::Block> blocks(run.size());
+  for (std::size_t i = 0; i < run.size(); ++i) blocks[i] = run[i].data;
+  const bool decrypt = run.front().decrypt;
+  const auto r = decrypt ? session.decryptBlocks(blocks)
+                         : session.encryptBlocks(blocks);
+  ++stats_.batched_runs;
+  stats_.batched_blocks += run.size();
+  if (r.has_value()) {
+    stats_.completed_hw += run.size();
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      complete(tenant, run[i], CompletionStatus::Ok, ServedBy::Hardware,
+               (*r)[i]);
+    }
+    return;
+  }
+  if (r.status() == AccelStatus::Suppressed) {
+    // A suppression verdict is a function of the tenant's label and its
+    // key's confidentiality, so it is uniform across a single-tenant
+    // batch: every member is suppressed.
+    for (const auto& req : run) {
+      complete(tenant, req, CompletionStatus::Suppressed, ServedBy::Hardware,
+               aes::Block{});
+    }
+    return;
+  }
+  // Transient failure or submit rejection: hand every member back to the
+  // single-request path, which owns the requeue / key-reprovision policy.
+  // Queue order (and therefore per-tenant completion order) is preserved.
+  ++stats_.batch_fallbacks;
+  auto& q = queues_[tenant];
+  for (auto it = run.rbegin(); it != run.rend(); ++it) {
+    q.push_front(std::move(*it));
+  }
+  for (std::size_t i = 0; i < run.size() && !q.empty(); ++i) {
+    Request req = std::move(q.front());
+    q.pop_front();
+    serveOne(tenant, std::move(req));
+  }
+}
+
+unsigned AccelService::serveRun(unsigned tenant, unsigned max_run) {
+  auto& q = queues_[tenant];
+  if (q.empty()) return 0;
+  const HealthState st = monitor_.state();
+  const bool hw_path =
+      st == HealthState::Healthy || st == HealthState::Degraded;
+  unsigned run_len = 1;
+  if (hw_path && cfg_.batch_size > 1) {
+    const bool dir = q.front().decrypt;
+    while (run_len < max_run && run_len < cfg_.batch_size &&
+           run_len < q.size() && q[run_len].decrypt == dir) {
+      ++run_len;
+    }
+  }
+  if (run_len == 1) {
+    Request req = std::move(q.front());
+    q.pop_front();
+    serveOne(tenant, std::move(req));
+    return 1;
+  }
+  std::vector<Request> run;
+  run.reserve(run_len);
+  for (unsigned i = 0; i < run_len; ++i) {
+    run.push_back(std::move(q.front()));
+    q.pop_front();
+  }
+  serveBatchHardware(tenant, std::move(run));
+  return run_len;
+}
+
 void AccelService::sampleWindowIfDue() {
   if (acc_.cycle() < window_start_cycle_ + cfg_.health.window_cycles) return;
   accel::SessionTelemetry now;
@@ -324,14 +420,14 @@ unsigned AccelService::pump() {
   const unsigned n = static_cast<unsigned>(tenants_.size());
   for (unsigned k = 0; k < n; ++k) {
     const unsigned t = (rr_next_ + k) % n;
-    for (unsigned i = 0; i < cfg_.quota_per_round; ++i) {
-      if (queues_[t].empty()) break;
-      Request req = std::move(queues_[t].front());
-      queues_[t].pop_front();
-      const std::size_t before = completions_[t].size();
-      serveOne(t, std::move(req));
-      if (completions_[t].size() > before) ++resolved;
+    unsigned served = 0;
+    const std::size_t before = completions_[t].size();
+    while (served < cfg_.quota_per_round && !queues_[t].empty()) {
+      // A request the robustness path re-queues is re-popped here and
+      // charged against the quota again, exactly as it was pre-batching.
+      served += serveRun(t, cfg_.quota_per_round - served);
     }
+    resolved += static_cast<unsigned>(completions_[t].size() - before);
   }
   if (n) rr_next_ = (rr_next_ + 1) % n;
 

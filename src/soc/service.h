@@ -53,6 +53,13 @@ struct ServiceConfig {
   std::size_t global_high_watermark = 64;
   // Blocks served per tenant per scheduling round (fair share).
   unsigned quota_per_round = 4;
+  // Batch submission: up to this many same-direction requests from one
+  // tenant's queue are drained into the pipeline back-to-back (one submit
+  // per cycle, all in flight), so K blocks cost ~K + pipeline-depth cycles
+  // instead of K x (depth + 1). 1 reproduces the historical one-at-a-time
+  // path. Batching never crosses tenants and never reorders within a
+  // tenant: completions surface in submission order.
+  unsigned batch_size = 1;
   // Service-level retry budget per request: a request whose hardware serve
   // ends in a transient failure is re-queued at the front this many times
   // (it rides over to the fallback path if the breaker trips meanwhile).
@@ -135,11 +142,19 @@ struct ServiceStats {
   std::uint64_t fallback_suppressed = 0;  // label check refused in degraded mode
   std::uint64_t hw_transient_failures = 0;
   std::uint64_t requeues = 0;
+  std::uint64_t batched_runs = 0;    // multi-block batches submitted
+  std::uint64_t batched_blocks = 0;  // blocks that rode a multi-block batch
+  // Batches whose verdict was transient/rejected: the member requests were
+  // re-queued and re-served through the single-block robustness path.
+  std::uint64_t batch_fallbacks = 0;
   std::uint64_t canary_rounds = 0;
   std::uint64_t canary_failures = 0;
   std::uint64_t key_reprovisions = 0;
 
   std::string toJson() const;
+
+  // Aggregate counters across shards of an engine pool (or across runs).
+  ServiceStats& operator+=(const ServiceStats& o);
 };
 
 class AccelService {
@@ -194,6 +209,12 @@ class AccelService {
 
   void logTransitions();
   void applyStateOptions();
+  // Serve up to `max_run` requests from the tenant's queue head — a
+  // contiguous same-direction run goes through the batched hardware path,
+  // everything else through the single-request path. Returns the number of
+  // requests consumed from the queue.
+  unsigned serveRun(unsigned tenant, unsigned max_run);
+  void serveBatchHardware(unsigned tenant, std::vector<Request> run);
   void serveOne(unsigned tenant, Request req);
   void serveHardware(unsigned tenant, Request req);
   void serveFallback(unsigned tenant, const Request& req);

@@ -150,6 +150,75 @@ TEST(Gcm, TamperedTagRejected) {
   EXPECT_FALSE(gcmDecrypt(enc.ciphertext, {}, enc.tag, key, iv).has_value());
 }
 
+// --- SP 800-38D test cases 3 & 4 (AES-128, 96-bit IV) ---------------------------
+
+TEST(Gcm, NistCase3FourBlocks) {
+  const auto key = expandKey(hexBytes("feffe9928665731c6d6a8f9467308308"),
+                             KeySize::Aes128);
+  std::array<std::uint8_t, 12> iv{};
+  const auto ivb = hexBytes("cafebabefacedbaddecaf888");
+  std::copy(ivb.begin(), ivb.end(), iv.begin());
+  const auto pt = hexBytes(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255");
+  const auto r = gcmEncrypt(pt, {}, key, iv);
+  EXPECT_EQ(r.ciphertext,
+            hexBytes("42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e0"
+                     "35c17e2329aca12e21d514b25466931c7d8f6a5aac84aa05"
+                     "1ba30b396a0aac973d58e091473f5985"));
+  EXPECT_EQ(r.tag, tagOf("4d5c2af327cd64a62cf35abd2ba6fab4"));
+  // And the inverse direction authenticates and round-trips.
+  const auto dec = gcmDecrypt(r.ciphertext, {}, r.tag, key, iv);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, pt);
+}
+
+TEST(Gcm, NistCase4WithAad) {
+  const auto key = expandKey(hexBytes("feffe9928665731c6d6a8f9467308308"),
+                             KeySize::Aes128);
+  std::array<std::uint8_t, 12> iv{};
+  const auto ivb = hexBytes("cafebabefacedbaddecaf888");
+  std::copy(ivb.begin(), ivb.end(), iv.begin());
+  const auto pt = hexBytes(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  const auto aad = hexBytes("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  const auto r = gcmEncrypt(pt, aad, key, iv);
+  EXPECT_EQ(r.ciphertext,
+            hexBytes("42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e0"
+                     "35c17e2329aca12e21d514b25466931c7d8f6a5aac84aa05"
+                     "1ba30b396a0aac973d58e091"));
+  EXPECT_EQ(r.tag, tagOf("5bc94fbc3221a5db94fae95ae7121a47"));
+  // Tamper rejection on the authenticated data of a standard vector.
+  auto bad_aad = aad;
+  bad_aad.back() ^= 0x01;
+  EXPECT_FALSE(gcmDecrypt(r.ciphertext, bad_aad, r.tag, key, iv).has_value());
+}
+
+// --- Table-driven GHASH vs the bit-at-a-time oracle -----------------------------
+
+TEST(Gf128, GhashKeyMulMatchesGf128Mul) {
+  Rng rng{42};
+  for (int i = 0; i < 50; ++i) {
+    Tag128 h{}, x{};
+    for (auto& b : h) b = static_cast<std::uint8_t>(rng.next());
+    for (auto& b : x) b = static_cast<std::uint8_t>(rng.next());
+    const GhashKey gk{h};
+    EXPECT_EQ(gk.mul(x), gf128Mul(x, h));
+  }
+}
+
+TEST(Gf128, GhashMatchesNaiveOracle) {
+  Rng rng{43};
+  for (const std::size_t len : {0u, 16u, 32u, 160u, 1024u}) {
+    Tag128 h{};
+    for (auto& b : h) b = static_cast<std::uint8_t>(rng.next());
+    std::vector<std::uint8_t> data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(ghash(h, data), ghashNaive(h, data)) << "len=" << len;
+  }
+}
+
 TEST(Gcm, DifferentIvsGiveDifferentCiphertexts) {
   const auto key = expandKey(std::vector<std::uint8_t>(16, 7), KeySize::Aes128);
   std::array<std::uint8_t, 12> iv1{}, iv2{};

@@ -104,6 +104,59 @@ TEST(LatencyStats, EmptyIsZeroed) {
   EXPECT_EQ(s.mean, 0.0);
 }
 
+TEST(Percentile, NearestRankDefinition) {
+  // 10 samples: p50 is the 5th smallest, p95 the 10th, p99 the 10th.
+  std::vector<std::uint64_t> v{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 90.0), 90.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 95.0), 100.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 99.0), 100.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 100.0);
+  // Order must not matter (the function sorts its copy).
+  std::vector<std::uint64_t> shuffled{100, 10, 90, 20, 80, 30, 70, 40, 60, 50};
+  EXPECT_DOUBLE_EQ(percentile(shuffled, 50.0), 50.0);
+}
+
+TEST(Percentile, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7}, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7}, 99.0), 7.0);
+}
+
+TEST(LatencyStats, SingleSampleHasZeroSpreadAndDegeneratePercentiles) {
+  const auto s = latencyStats({42});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);  // population stddev of one sample
+  EXPECT_EQ(s.min, 42u);
+  EXPECT_EQ(s.max, 42u);
+  EXPECT_DOUBLE_EQ(s.p50, 42.0);
+  EXPECT_DOUBLE_EQ(s.p95, 42.0);
+  EXPECT_DOUBLE_EQ(s.p99, 42.0);
+}
+
+TEST(LatencyStats, PercentilesAndJson) {
+  std::vector<std::uint64_t> v(100);
+  for (unsigned i = 0; i < 100; ++i) v[i] = i + 1;  // 1..100
+  const auto s = latencyStats(v);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+  const std::string j = s.toJson();
+  EXPECT_NE(j.find("\"count\":100"), std::string::npos);
+  EXPECT_NE(j.find("\"p95\":95"), std::string::npos);
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+}
+
+TEST(LatencyStats, PopulationStddevConvention) {
+  // Two samples 0 and 10: population stddev is 5 (sample stddev would be
+  // ~7.07) — pinned so the documented ÷N convention cannot silently drift.
+  const auto s = latencyStats({0, 10});
+  EXPECT_DOUBLE_EQ(s.stddev, 5.0);
+}
+
 TEST(RobustnessStats, AccumulateSumsCountersAndRecomputesRates) {
   RobustnessStats a;
   a.faults_injected = 10;
