@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "accel/driver.h"
+#include "aes/gcm.h"
 #include "common/rng.h"
 #include "soc/fault_injector.h"
 #include "soc/metrics.h"
@@ -34,6 +35,12 @@ using lattice::Principal;
 struct CampaignOutcome {
   unsigned ops = 0;
   unsigned ok = 0;
+  unsigned gcm_ops = 0;  // AEAD seals interleaved with the block traffic
+  unsigned gcm_ok = 0;
+  // The fail-secure property under GHASH-state faults: a released tag that
+  // differs from the golden host computation. Must stay 0 — a faulted op
+  // may abort, but may never authenticate wrong data.
+  unsigned wrong_tag_releases = 0;
   std::uint64_t device_cycles = 0;
   std::uint64_t retries = 0;
   soc::FaultCampaignReport report;
@@ -62,9 +69,11 @@ std::string campaignJson(bool hardened, double rate,
   std::snprintf(head, sizeof(head),
                 "{\"bench\":\"fault_campaign\",\"hardened\":%s,"
                 "\"fault_rate\":%.3f,\"ops\":%u,\"ok\":%u,"
+                "\"gcm_ops\":%u,\"gcm_ok\":%u,\"wrong_tag_releases\":%u,"
                 "\"device_cycles\":%llu,\"cycles_per_ok_op\":%.2f,"
                 "\"recovery_latency_cycles\":%.2f",
-                hardened ? "true" : "false", rate, o.ops, o.ok,
+                hardened ? "true" : "false", rate, o.ops, o.ok, o.gcm_ops,
+                o.gcm_ok, o.wrong_tag_releases,
                 static_cast<unsigned long long>(o.device_cycles), per_op,
                 recovery);
   return std::string(head) + ",\"robustness\":" + robustnessOf(o).toJson() +
@@ -126,6 +135,29 @@ CampaignOutcome runCampaign(bool hardened, double rate, std::uint64_t seed,
       } else if (r.status() == AccelStatus::Rejected) {
         needs_reload[u] = true;
       }
+      // Every fourth round, a whole AEAD op rides along so the GHASH fault
+      // sites see live state. Any released tag is checked against the
+      // golden host GCM — hardened or not, a wrong tag accepted as valid
+      // is the campaign's one disqualifying outcome.
+      if (round % 4 == 3 && !needs_reload[u]) {
+        std::vector<std::uint8_t> msg(40), aad(8), iv(12);
+        for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+        for (auto& b : aad) b = static_cast<std::uint8_t>(rng.next());
+        for (auto& b : iv) b = static_cast<std::uint8_t>(rng.next());
+        ++out.gcm_ops;
+        const auto sealed = sessions[u].gcmSeal(msg, aad, iv);
+        if (sealed.has_value()) {
+          ++out.gcm_ok;
+          const auto want = aes::gcmEncrypt(
+              msg, aad, aes::expandKey(keys[u], aes::KeySize::Aes128), iv);
+          if (sealed->tag != want.tag ||
+              sealed->ciphertext != want.ciphertext) {
+            ++out.wrong_tag_releases;
+          }
+        } else if (sealed.status() == AccelStatus::Rejected) {
+          needs_reload[u] = true;
+        }
+      }
     }
   }
   acc.setTickHook(nullptr);
@@ -148,9 +180,9 @@ void printCampaigns() {
   std::printf("==============================================================\n");
   std::printf("Fault campaign: fail-secure hardening cost & recovery\n");
   std::printf("==============================================================\n");
-  std::printf("%-9s %-7s %-6s %-6s %-9s %-10s %-9s %-9s %-8s\n", "hardened",
-              "rate", "ops", "ok", "cycles", "cyc/ok-op", "detected",
-              "aborted", "retries");
+  std::printf("%-9s %-7s %-6s %-6s %-8s %-9s %-10s %-9s %-9s %-8s\n",
+              "hardened", "rate", "ops", "ok", "gcm-ok", "cycles",
+              "cyc/ok-op", "detected", "aborted", "retries");
 
   // Per-mode fault-free baseline for the recovery-latency delta, plus one
   // aggregate scorecard per mode summed over all rates.
@@ -164,12 +196,15 @@ void printCampaigns() {
       if (rate == 0.0) base_cyc_per_op[hardened ? 1 : 0] = per_op;
       const double recovery =
           per_op - base_cyc_per_op[hardened ? 1 : 0];  // extra cycles/op
-      std::printf("%-9s %-7.3f %-6u %-6u %-9llu %-10.1f %-9llu %-9llu %-8llu\n",
-                  hardened ? "yes" : "no", rate, o.ops, o.ok,
-                  static_cast<unsigned long long>(o.device_cycles), per_op,
-                  static_cast<unsigned long long>(o.stats.faults_detected),
-                  static_cast<unsigned long long>(o.stats.fault_aborted),
-                  static_cast<unsigned long long>(o.retries));
+      std::printf(
+          "%-9s %-7.3f %-6u %-6u %-2u/%-5u %-9llu %-10.1f %-9llu %-9llu "
+          "%-8llu%s\n",
+          hardened ? "yes" : "no", rate, o.ops, o.ok, o.gcm_ok, o.gcm_ops,
+          static_cast<unsigned long long>(o.device_cycles), per_op,
+          static_cast<unsigned long long>(o.stats.faults_detected),
+          static_cast<unsigned long long>(o.stats.fault_aborted),
+          static_cast<unsigned long long>(o.retries),
+          o.wrong_tag_releases ? "  [WRONG TAG RELEASED!]" : "");
       aggregate += robustnessOf(o);
       std::printf("JSON %s\n",
                   campaignJson(hardened, rate, o, per_op, recovery).c_str());
@@ -183,7 +218,10 @@ void printCampaigns() {
       "\nHardening on a quiet device costs ~0 cycles; under faults the\n"
       "unhardened design keeps its throughput by silently emitting wrong\n"
       "ciphertext, while the hardened design converts upsets into detected\n"
-      "aborts + bounded driver retries.\n\n");
+      "aborts + bounded driver retries. The AEAD column is the fail-secure\n"
+      "check for the GHASH sites: the unhardened device releases auth tags\n"
+      "that differ from the golden host GCM, the hardened device must not —\n"
+      "its wrong_tag_releases stays 0 at every fault rate.\n\n");
 }
 
 void BM_CampaignHardened(benchmark::State& state) {

@@ -1,0 +1,269 @@
+// On-device AEAD throughput: whole GCM operations (CTR keystream, H, GHASH,
+// tag — all under label enforcement on the accelerator) versus the
+// host-GHASH split the paper's threat model warns about, where the device
+// only produces the CTR keystream and the hash subkey H lives in host
+// memory. Both sides ride the same sharded engine pool so the comparison
+// isolates the cost of doing the authentication on-device.
+//
+// Committed baseline: bench/BENCH_gcm.json (the `JSON ` lines below). The
+// CI gate checks the blocks/device-cycle columns stay within tolerance.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "aes/gcm.h"
+#include "soc/pool.h"
+
+namespace {
+
+using namespace aesifc;
+
+unsigned envOr(const char* name, unsigned fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  const unsigned long n = std::strtoul(v, nullptr, 10);
+  return n == 0 ? fallback : static_cast<unsigned>(n);
+}
+
+bool smokeMode() {
+  const char* v = std::getenv("AESIFC_BENCH_SMOKE");
+  return v && *v && std::string{v} != "0";
+}
+
+struct GcmRunResult {
+  std::uint64_t ops = 0;
+  std::uint64_t blocks = 0;         // payload blocks authenticated+encrypted
+  std::uint64_t device_cycles = 0;  // slowest shard's cycle counter
+  double wall_seconds = 0.0;
+  bool all_ok = true;
+};
+
+soc::EnginePool makePool(unsigned shards, unsigned msg_blocks) {
+  soc::PoolConfig cfg;
+  cfg.shards = shards;
+  // Closed-loop waves need RejectNew: under ShedOldest a full queue would
+  // silently trade queued ops for fresh ones and inflate the block count.
+  cfg.service.overflow = soc::OverflowPolicy::RejectNew;
+  // Let the raw-CTR side batch a whole message back-to-back, mirroring how
+  // the GCM sequencer streams a message's counter blocks into the pipe.
+  cfg.service.batch_size = msg_blocks;
+  cfg.service.quota_per_round = msg_blocks < 16 ? 16 : msg_blocks;
+  cfg.service.global_high_watermark = 1u << 20;
+  return soc::EnginePool{cfg};
+}
+
+std::vector<unsigned> addTenants(soc::EnginePool& pool, unsigned tenants) {
+  std::vector<unsigned> ids;
+  for (unsigned t = 0; t < tenants; ++t) {
+    soc::PoolTenantSpec spec;
+    spec.name = "tenant-" + std::to_string(t);
+    spec.category = t + 1;
+    spec.key.assign(16, 0);
+    for (unsigned i = 0; i < 16; ++i)
+      spec.key[i] = static_cast<std::uint8_t>(0x40 + 13 * t + i);
+    spec.queue_depth = 64;
+    ids.push_back(pool.addTenant(spec));
+  }
+  return ids;
+}
+
+std::vector<std::uint8_t> messageOf(unsigned tenant, unsigned op,
+                                    unsigned msg_blocks) {
+  std::vector<std::uint8_t> m(16u * msg_blocks);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m[i] = static_cast<std::uint8_t>(op + 7 * i + tenant);
+  return m;
+}
+
+std::vector<std::uint8_t> ivOf(unsigned tenant, unsigned op) {
+  std::vector<std::uint8_t> iv(12);
+  for (unsigned i = 0; i < 12; ++i)
+    iv[i] = static_cast<std::uint8_t>(0x90 + tenant + 3 * op + i);
+  return iv;
+}
+
+// Whole GCM seals through the pool's AEAD path: GHASH on the device.
+GcmRunResult runDeviceGcm(unsigned shards, unsigned msg_blocks,
+                          unsigned tenants, unsigned ops_per_tenant) {
+  auto pool = makePool(shards, msg_blocks);
+  const auto ids = addTenants(pool, tenants);
+  std::vector<unsigned> submitted(tenants, 0);
+  GcmRunResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t done = 0;
+  while (done < static_cast<std::uint64_t>(tenants) * ops_per_tenant) {
+    for (unsigned t = 0; t < tenants; ++t) {
+      while (submitted[t] < ops_per_tenant) {
+        const auto pt = messageOf(t, submitted[t], msg_blocks);
+        if (!pool.submitSeal(ids[t], pt, {}, ivOf(t, submitted[t])).admitted)
+          break;  // AEAD queue full: next wave
+        ++submitted[t];
+      }
+    }
+    pool.runUntilIdle(1u << 24);
+    for (unsigned t = 0; t < tenants; ++t) {
+      while (auto c = pool.fetchAead(ids[t])) {
+        ++done;
+        if (c->status != soc::CompletionStatus::Ok) r.all_ok = false;
+      }
+    }
+  }
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.ops = done;
+  r.blocks = done * msg_blocks;
+  r.device_cycles = pool.maxShardCycle();
+  return r;
+}
+
+// The split design: the device only runs raw AES-CTR keystream blocks; the
+// host XORs and GHASHes the result itself (so H is host-resident — exactly
+// the exposure the on-device unit removes). Device cycles measure only the
+// keystream traffic; the host hash rides the wall clock.
+GcmRunResult runHostGhash(unsigned shards, unsigned msg_blocks,
+                          unsigned tenants, unsigned ops_per_tenant) {
+  auto pool = makePool(shards, msg_blocks);
+  const auto ids = addTenants(pool, tenants);
+  // Host-side GHASH keys, one per tenant (H = E(K, 0)).
+  std::vector<aes::GhashKey> hkeys;
+  for (unsigned t = 0; t < tenants; ++t) {
+    std::vector<std::uint8_t> key(16);
+    for (unsigned i = 0; i < 16; ++i)
+      key[i] = static_cast<std::uint8_t>(0x40 + 13 * t + i);
+    const auto ek = aes::expandKey(key, aes::KeySize::Aes128);
+    const auto h = aes::encryptBlock(aes::Block{}, ek);
+    aes::Tag128 ht{};
+    std::copy(h.begin(), h.end(), ht.begin());
+    hkeys.emplace_back(ht);
+  }
+  const std::uint64_t total_blocks =
+      static_cast<std::uint64_t>(tenants) * ops_per_tenant * msg_blocks;
+  std::vector<unsigned> submitted(tenants, 0);
+  std::vector<std::vector<aes::Tag128>> pending(tenants);
+  GcmRunResult r;
+  r.ops = static_cast<std::uint64_t>(tenants) * ops_per_tenant;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t done = 0;
+  const unsigned blocks_per_tenant = ops_per_tenant * msg_blocks;
+  while (done < total_blocks) {
+    for (unsigned t = 0; t < tenants; ++t) {
+      while (submitted[t] < blocks_per_tenant) {
+        // A counter block: the CTR keystream request for block i of op j.
+        aes::Block b{};
+        for (unsigned i = 0; i < 12; ++i)
+          b[i] = static_cast<std::uint8_t>(0x90 + t + i);
+        b[12] = static_cast<std::uint8_t>(submitted[t] >> 24);
+        b[13] = static_cast<std::uint8_t>(submitted[t] >> 16);
+        b[14] = static_cast<std::uint8_t>(submitted[t] >> 8);
+        b[15] = static_cast<std::uint8_t>(submitted[t]);
+        if (!pool.submit(ids[t], b).admitted) break;
+        ++submitted[t];
+      }
+    }
+    pool.runUntilIdle(1u << 24);
+    for (unsigned t = 0; t < tenants; ++t) {
+      while (auto c = pool.fetch(ids[t])) {
+        ++done;
+        if (c->status != soc::CompletionStatus::Ok) r.all_ok = false;
+        // Host half: XOR into ciphertext and fold into the running GHASH.
+        aes::Tag128 ct{};
+        for (unsigned i = 0; i < 16; ++i)
+          ct[i] = static_cast<std::uint8_t>(c->data[i] ^ (done + 7 * i + t));
+        pending[t].push_back(ct);
+        if (pending[t].size() == msg_blocks) {
+          aes::Tag128 y{};
+          for (const auto& blk : pending[t]) {
+            for (unsigned i = 0; i < 16; ++i) y[i] ^= blk[i];
+            y = hkeys[t].mul(y);
+          }
+          // Fold the lengths block, completing GHASH for the message.
+          aes::Tag128 len{};
+          const std::uint64_t bits = 128ull * msg_blocks;
+          for (int i = 0; i < 8; ++i)
+            len[15 - i] = static_cast<std::uint8_t>(bits >> (8 * i));
+          for (unsigned i = 0; i < 16; ++i) y[i] ^= len[i];
+          y = hkeys[t].mul(y);
+          if (y == aes::Tag128{}) r.all_ok = false;  // keep y observable
+          pending[t].clear();
+        }
+      }
+    }
+  }
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.blocks = done;
+  r.device_cycles = pool.maxShardCycle();
+  return r;
+}
+
+void printRow(const char* mode, unsigned shards, unsigned batch,
+              const GcmRunResult& r) {
+  const double bpc = r.device_cycles ? static_cast<double>(r.blocks) /
+                                           static_cast<double>(r.device_cycles)
+                                     : 0.0;
+  std::printf("%-7u %-6u %-11s %-7llu %-9llu %-11llu %-12.3f%s\n", shards,
+              batch, mode, static_cast<unsigned long long>(r.ops),
+              static_cast<unsigned long long>(r.blocks),
+              static_cast<unsigned long long>(r.device_cycles), bpc,
+              r.all_ok ? "" : "  [MISMATCH!]");
+  std::printf(
+      "JSON {\"bench\":\"gcm\",\"shards\":%u,\"batch\":%u,\"mode\":\"%s\","
+      "\"ops\":%llu,\"blocks\":%llu,\"device_cycles\":%llu,"
+      "\"blocks_per_device_cycle\":%.4f,\"wall_seconds\":%.4f}\n",
+      shards, batch, mode, static_cast<unsigned long long>(r.ops),
+      static_cast<unsigned long long>(r.blocks),
+      static_cast<unsigned long long>(r.device_cycles), bpc, r.wall_seconds);
+}
+
+}  // namespace
+
+int main() {
+  const unsigned tenants = 4;
+  const unsigned blocks_per_tenant =
+      envOr("AESIFC_BENCH_BLOCKS", smokeMode() ? 64 : 256);
+  std::printf("==============================================================\n");
+  std::printf("AEAD throughput: on-device GHASH/GCM vs host-GHASH split\n");
+  std::printf("==============================================================\n");
+  std::printf(
+      "%u tenants, ~%u payload blocks each per cell; batch = blocks per\n"
+      "sealed message (and the raw-CTR side's batch size)\n\n",
+      tenants, blocks_per_tenant);
+  std::printf("%-7s %-6s %-11s %-7s %-9s %-11s %-12s\n", "shards", "batch",
+              "mode", "ops", "blocks", "dev-cycles", "blk/dev-cyc");
+
+  for (const unsigned shards : {1u, 2u, 4u}) {
+    for (const unsigned batch : {1u, 4u, 16u, 64u}) {
+      const unsigned ops =
+          blocks_per_tenant / batch ? blocks_per_tenant / batch : 1;
+      const auto dev = runDeviceGcm(shards, batch, tenants, ops);
+      const auto host = runHostGhash(shards, batch, tenants, ops);
+      printRow("device", shards, batch, dev);
+      printRow("host_ghash", shards, batch, host);
+      const double dev_bpc =
+          dev.device_cycles ? static_cast<double>(dev.blocks) /
+                                  static_cast<double>(dev.device_cycles)
+                            : 0.0;
+      const double host_bpc =
+          host.device_cycles ? static_cast<double>(host.blocks) /
+                                   static_cast<double>(host.device_cycles)
+                             : 0.0;
+      if (batch >= 16 && dev_bpc > 0.0 && host_bpc / dev_bpc > 2.0) {
+        std::printf("  [SLOW] device GCM %.3f vs raw CTR %.3f blk/dev-cyc "
+                    "exceeds the 2x budget\n",
+                    dev_bpc, host_bpc);
+      }
+    }
+  }
+  std::printf(
+      "\nThe device rows carry the whole AEAD (J0, keystream, GHASH, tag)\n"
+      "under label enforcement; the host_ghash rows spend the same device\n"
+      "cycles on keystream only and leave H exposed in host memory. The\n"
+      "per-message overhead (J0 + E(K,J0) + lengths block) amortizes by\n"
+      "batch 16 to well inside 2x of raw CTR throughput.\n");
+  return 0;
+}

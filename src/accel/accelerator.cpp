@@ -11,7 +11,9 @@ AesAccelerator::AesAccelerator(AcceleratorConfig cfg)
     : cfg_{cfg},
       scratchpad_{cfg.mode},
       config_regs_{cfg.mode},
-      pipeline_{cfg.max_rounds, round_keys_} {}
+      pipeline_{cfg.max_rounds, round_keys_},
+      ghash_{cfg.fault_hardening},
+      gcm_{*this, ghash_} {}
 
 unsigned AesAccelerator::addUser(Principal p) {
   users_.push_back(std::move(p));
@@ -47,6 +49,12 @@ void AesAccelerator::noteFault(FaultSite site, bool recovered, unsigned user,
 }
 
 void AesAccelerator::deliverAbort(const StageSlot& slot) {
+  if (slot.gcm_internal) {
+    // A squashed internal block belongs to a GCM op: the sequencer
+    // fault-aborts the whole op (its own definite outcome).
+    gcm_.deliverAbort(slot);
+    return;
+  }
   BlockResponse resp;
   resp.req_id = slot.req_id;
   resp.user = slot.user;
@@ -71,6 +79,10 @@ unsigned AesAccelerator::zeroizeSlotSquash(unsigned slot) {
     }
   }
   round_keys_.clear(slot);
+  // The H tables derived from this key are stale; streams hashing under
+  // them fault, and ops bound to the slot abort (retryable by the driver).
+  ghash_.invalidateKey(slot);
+  gcm_.noteKeySlotInvalid(slot);
   return casualties;
 }
 
@@ -98,11 +110,17 @@ void AesAccelerator::scrubTick() {
     noteFault(FaultSite::ScratchTag, /*recovered=*/true, 0,
               "cell " + std::to_string(c) + " tag parity; quarantined");
   }
-  // Slow ring: one scratchpad cell, round-key slot, or config register per
-  // cycle, round-robin.
+  // GHASH fast ring: every multiplier-stage and stream-accumulator
+  // comparator runs each cycle; a mismatch faults the stream (the
+  // sequencer fault-aborts the owning op — never a released tag).
+  for (const auto& f : ghash_.scrubFast()) {
+    noteFault(f.site, /*recovered=*/false, f.user, f.detail);
+  }
+  // Slow ring: one scratchpad cell, round-key slot, config register, or
+  // GHASH H-table slot per cycle, round-robin.
   const auto& names = config_regs_.names();
   const unsigned total = kScratchpadCells + kRoundKeySlots +
-                         static_cast<unsigned>(names.size());
+                         static_cast<unsigned>(names.size()) + kGhashKeySlots;
   const unsigned idx = scrub_next_++ % total;
   if (idx < kScratchpadCells) {
     if (!scratchpad_.cellParityOk(idx)) {
@@ -118,12 +136,18 @@ void AesAccelerator::scrubTick() {
                 "slot " + std::to_string(slot) + " parity; zeroized (" +
                     std::to_string(casualties) + " blocks squashed)");
     }
-  } else {
+  } else if (idx < kScratchpadCells + kRoundKeySlots + names.size()) {
     const auto& name = names[idx - kScratchpadCells - kRoundKeySlots];
     if (!config_regs_.parityOk(name)) {
       config_regs_.restoreDefault(name);
       noteFault(FaultSite::ConfigReg, /*recovered=*/true, 0,
                 "'" + name + "' parity; restored power-on default");
+    }
+  } else {
+    const unsigned slot = idx - kScratchpadCells - kRoundKeySlots -
+                          static_cast<unsigned>(names.size());
+    if (const auto f = ghash_.scrubKeySlot(slot); f.has_value()) {
+      noteFault(f->site, /*recovered=*/false, f->user, f->detail);
     }
   }
 }
@@ -148,6 +172,15 @@ bool AesAccelerator::injectFault(FaultSite site, unsigned index,
       if (names.empty()) return false;
       return config_regs_.faultFlipBit(names[index % names.size()], bit % 32);
     }
+    case FaultSite::GhashStage:
+      return ghash_.faultFlipStageBit(index, bit % 256);
+    case FaultSite::GhashStageTag:
+      return ghash_.faultFlipStageTagBit(index, bit % 32);
+    case FaultSite::GhashAcc:
+      return ghash_.faultFlipAccBit(index, bit % (128 * kGhashLanes));
+    case FaultSite::GhashKeyTable:
+      return ghash_.faultFlipKeyTableBit(index,
+                                         bit % (kGhashLanes * 16 * 128));
     default:
       return false;  // host sites are driven through the queue hooks
   }
@@ -224,6 +257,10 @@ bool AesAccelerator::loadKey(unsigned user, unsigned slot, unsigned cell_base,
     }
   }
   round_keys_.store(slot, aes::expandKey(key_bytes, ks), key_conf, requester);
+  // A re-keyed slot voids any H derived from the previous key; GCM ops
+  // bound to the slot fault-abort (the driver re-runs them on the new key).
+  ghash_.invalidateKey(slot);
+  gcm_.noteKeySlotInvalid(slot);
   return true;
 }
 
@@ -232,7 +269,9 @@ bool AesAccelerator::keySlotBusy(unsigned slot) const {
     const auto& s = pipeline_.stage(i);
     if (s.valid && s.key_slot == slot) return true;
   }
-  return false;
+  // A GCM op holds its key slot for its whole lifetime (H tables, pending
+  // keystream, hash streams).
+  return gcm_.usesKeySlot(slot);
 }
 
 bool AesAccelerator::clearKey(unsigned user, unsigned slot) {
@@ -255,6 +294,8 @@ bool AesAccelerator::clearKey(unsigned user, unsigned slot) {
     return false;
   }
   round_keys_.clear(slot);
+  ghash_.invalidateKey(slot);
+  gcm_.noteKeySlotInvalid(slot);
   return true;
 }
 
@@ -416,6 +457,12 @@ std::size_t AesAccelerator::pendingOutputs(unsigned user) const {
   return output_queues_.at(user).size();
 }
 
+bool AesAccelerator::submitGcm(GcmRequest req) { return gcm_.submit(std::move(req)); }
+
+std::optional<GcmResponse> AesAccelerator::fetchGcm(unsigned user) {
+  return gcm_.fetch(user);
+}
+
 std::optional<StageSlot> AesAccelerator::arbiterPick() {
   const unsigned n = static_cast<unsigned>(users_.size());
   if (n == 0) return std::nullopt;
@@ -546,8 +593,10 @@ void AesAccelerator::tick() {
   bool stall = false;
   bool to_buffer = false;
 
+  // An internal GCM block never waits on a host receiver: the sequencer is
+  // always ready, so it cannot request a stall.
   const StageSlot& fin = pipeline_.finalStage();
-  if (fin.valid && !receiver_ready_.at(fin.user)) {
+  if (fin.valid && !fin.gcm_internal && !receiver_ready_.at(fin.user)) {
     if (cfg_.mode == SecurityMode::Baseline) {
       // Unprotected design: the whole pipeline stalls — the covert timing
       // channel of Section 3.2.5.
@@ -560,7 +609,12 @@ void AesAccelerator::tick() {
       // the input (a granted stall delays their acceptance, which their
       // owners can observe) — a strengthening of the paper's rule needed to
       // close the acceptance-delay side of the channel.
-      lattice::Conf meet = pipeline_.meetConf();
+      // The meet also folds in the GHASH unit's in-flight tags and the
+      // sequencer's active-op labels: a granted stall freezes both (they
+      // advance only on non-stall cycles), so their owners must be unable
+      // to observe the delay.
+      lattice::Conf meet =
+          pipeline_.meetConf().meet(ghash_.meetConf()).meet(gcm_.meetConf());
       if (cfg_.meet_includes_inputs) {
         for (const auto& q : input_queues_) {
           if (!q.empty()) meet = meet.meet(q.front().tag.c);
@@ -581,6 +635,10 @@ void AesAccelerator::tick() {
   if (stall) {
     ++stats_.stalled_cycles;
   } else {
+    // The GCM sequencer runs only on non-stall cycles, in lockstep with
+    // the datapaths it feeds (a stall freezes the whole AEAD path — no
+    // sequencer-side timing channel).
+    gcm_.pump();
     std::optional<StageSlot> input = arbiterPick();
     if (input.has_value() && !round_keys_.valid(input->key_slot)) {
       // The slot was zeroized (fail-secure) after this request was queued
@@ -611,9 +669,19 @@ void AesAccelerator::tick() {
         noteFault(FaultSite::RoundKey, /*recovered=*/false, completed->user,
                   "slot " + std::to_string(slot) + " parity at pipeline exit");
         zeroizeSlotSquash(slot);
+      } else if (completed->gcm_internal) {
+        // Hand internal blocks back to the sequencer — no declassification
+        // here; the op's single declassification happens at its release.
+        gcm_.deliver(*completed);
       } else {
         routeCompleted(std::move(*completed), to_buffer);
       }
+    }
+    // The GHASH multiplier advances in lockstep with the AES pipe (and
+    // freezes with it on stall cycles). Point-of-use detections surface as
+    // ordinary fault events.
+    for (const auto& f : ghash_.tick(cycle_)) {
+      noteFault(f.site, /*recovered=*/false, f.user, f.detail);
     }
   }
 

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "accel/config_regs.h"
+#include "accel/gcm_sequencer.h"
+#include "accel/ghash_unit.h"
 #include "accel/key_store.h"
 #include "accel/pipeline.h"
 #include "accel/types.h"
@@ -122,6 +124,17 @@ class AesAccelerator {
   std::size_t pendingInputs(unsigned user) const;
   std::size_t pendingOutputs(unsigned user) const;
 
+  // --- AEAD path (GCM sequencer + GHASH unit) --------------------------------
+  // Enqueue one authenticated-encryption operation (seal or open). The
+  // sequencer runs it end-to-end on the device: H and the CTR keystream
+  // through the AES pipe, the digest through the tagged GHASH unit, and a
+  // single nonmalleable declassification when the result is released.
+  bool submitGcm(GcmRequest req);
+  std::optional<GcmResponse> fetchGcm(unsigned user);
+  std::size_t pendingGcm(unsigned user) const { return gcm_.pending(user); }
+  const GhashUnit& ghash() const { return ghash_; }
+  const GcmSequencer& gcm() const { return gcm_; }
+
   // --- Clock -----------------------------------------------------------------
   void tick();
   void run(unsigned cycles);
@@ -161,6 +174,12 @@ class AesAccelerator {
     std::uint64_t faults_recovered = 0;  // restored by the scrub pass
     std::uint64_t fault_aborted = 0;     // blocks squashed fail-secure
     std::uint64_t retries = 0;           // driver-reported resubmissions
+    // AEAD path (GCM sequencer).
+    std::uint64_t gcm_ops = 0;           // operations accepted
+    std::uint64_t gcm_ok = 0;            // completed and released
+    std::uint64_t gcm_suppressed = 0;    // digest declassification refused
+    std::uint64_t gcm_auth_failed = 0;   // open verdicts (tag mismatch)
+    std::uint64_t gcm_fault_aborted = 0; // ops killed by the fail-secure path
   };
   const Stats& stats() const { return stats_; }
   // Zero the counters (long campaigns reset between phases); the cycle
@@ -185,6 +204,8 @@ class AesAccelerator {
   }
 
  private:
+  friend class GcmSequencer;  // drives the datapaths on the op's behalf
+
   struct PendingOutput {
     BlockResponse resp;
     Label tag;
@@ -217,6 +238,8 @@ class AesAccelerator {
   RoundKeyRam round_keys_;
   ConfigRegisters config_regs_;
   AesPipeline pipeline_;
+  GhashUnit ghash_;
+  GcmSequencer gcm_;
 
   std::vector<std::deque<StageSlot>> input_queues_;
   std::vector<std::deque<BlockResponse>> output_queues_;

@@ -32,6 +32,7 @@ std::string toString(AccelStatus s) {
     case AccelStatus::FaultAborted: return "fault-aborted";
     case AccelStatus::Dropped: return "dropped";
     case AccelStatus::Rejected: return "rejected";
+    case AccelStatus::AuthFailed: return "auth-failed";
   }
   return "?";
 }
@@ -110,6 +111,7 @@ AccelResult<std::vector<aes::Block>> AccelSession::runBatch(
       case AccelStatus::FaultAborted: ++telemetry_.fault_aborts; break;
       case AccelStatus::Dropped: ++telemetry_.drops; break;
       case AccelStatus::Rejected: ++telemetry_.rejected; break;
+      case AccelStatus::AuthFailed: ++telemetry_.auth_failed; break;
     }
     return verdict;
   };
@@ -278,6 +280,99 @@ AccelResult<aes::Bytes> AccelSession::cbcDecrypt(const aes::Bytes& data,
     prev = blocks[i];
   }
   return out;
+}
+
+AccelStatus AccelSession::finishGcm(AccelStatus verdict,
+                                    std::uint64_t start_cycle) {
+  cycles_used_ += acc_.cycle() - start_cycle;
+  last_status_ = verdict;
+  switch (verdict) {
+    case AccelStatus::Ok: ++telemetry_.ok; break;
+    case AccelStatus::Suppressed: ++telemetry_.suppressed; break;
+    case AccelStatus::Timeout: ++telemetry_.timeouts; break;
+    case AccelStatus::FaultAborted: ++telemetry_.fault_aborts; break;
+    case AccelStatus::Dropped: ++telemetry_.drops; break;
+    case AccelStatus::Rejected: ++telemetry_.rejected; break;
+    case AccelStatus::AuthFailed: ++telemetry_.auth_failed; break;
+  }
+  return verdict;
+}
+
+AccelResult<GcmResponse> AccelSession::runGcm(GcmRequest req) {
+  const std::uint64_t start_cycle = acc_.cycle();
+  req.user = user_;
+  req.key_slot = key_slot_;
+  // Watchdog budget: the op needs one AES pass per keystream/H/J0 block
+  // plus one GHASH pass per hashed block on top of the configured timeout.
+  const std::uint64_t blocks =
+      (req.data.size() + 15) / 16 + (req.aad.size() + 15) / 16 +
+      (req.iv.size() + 15) / 16;
+  for (unsigned attempt = 0;; ++attempt) {
+    req.req_id = next_req_++;
+    if (!acc_.submitGcm(req))
+      return finishGcm(AccelStatus::Rejected, start_cycle);
+    const std::uint64_t attempt_start = acc_.cycle();
+    std::optional<GcmResponse> got;
+    while (true) {
+      acc_.tick();
+      while (auto r = acc_.fetchGcm(user_)) {
+        if (r->req_id == req.req_id) {
+          got = std::move(*r);
+          break;  // responses from abandoned attempts are discarded
+        }
+      }
+      if (got.has_value()) break;
+      if (acc_.cycle() - attempt_start > opts_.timeout_cycles + 2 * blocks)
+        break;
+    }
+    AccelStatus verdict;
+    if (!got.has_value()) {
+      verdict = AccelStatus::Timeout;
+    } else if (got->suppressed) {
+      return finishGcm(AccelStatus::Suppressed, start_cycle);  // final
+    } else if (got->auth_failed) {
+      return finishGcm(AccelStatus::AuthFailed, start_cycle);  // verdict
+    } else if (got->fault_aborted) {
+      verdict = AccelStatus::FaultAborted;
+    } else {
+      (void)finishGcm(AccelStatus::Ok, start_cycle);
+      return std::move(*got);
+    }
+    if (attempt >= opts_.max_retries) return finishGcm(verdict, start_cycle);
+    ++retries_;
+    acc_.noteRetry();
+    const std::uint64_t backoff = opts_.backoff_cycles << attempt;
+    for (std::uint64_t i = 0; i < backoff; ++i) acc_.tick();
+  }
+}
+
+AccelResult<GcmSealed> AccelSession::gcmSeal(
+    const std::vector<std::uint8_t>& plaintext,
+    const std::vector<std::uint8_t>& aad,
+    const std::vector<std::uint8_t>& iv) {
+  GcmRequest req;
+  req.open = false;
+  req.iv = iv;
+  req.aad = aad;
+  req.data = plaintext;
+  auto r = runGcm(std::move(req));
+  if (!r) return r.status();
+  return GcmSealed{std::move(r->data), r->tag};
+}
+
+AccelResult<std::vector<std::uint8_t>> AccelSession::gcmOpen(
+    const std::vector<std::uint8_t>& ciphertext,
+    const std::vector<std::uint8_t>& aad, const aes::Tag128& tag,
+    const std::vector<std::uint8_t>& iv) {
+  GcmRequest req;
+  req.open = true;
+  req.iv = iv;
+  req.aad = aad;
+  req.data = ciphertext;
+  req.tag = tag;
+  auto r = runGcm(std::move(req));
+  if (!r) return r.status();
+  return std::move(r->data);
 }
 
 AccelResult<aes::Bytes> AccelSession::cbcEncrypt(const aes::Bytes& data,

@@ -50,6 +50,7 @@ enum class AccelStatus {
   FaultAborted, // squashed by the fail-secure fault path (retryable)
   Dropped,      // lost to overflow-buffer pressure (retryable)
   Rejected,     // refused at the submit port (e.g. zeroized key slot)
+  AuthFailed,   // GCM open: tag mismatch — a verdict, NOT retryable
 };
 
 std::string toString(AccelStatus s);
@@ -102,9 +103,11 @@ struct SessionTelemetry {
   std::uint64_t fault_aborts = 0;
   std::uint64_t drops = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t auth_failed = 0;  // GCM open verdicts (not device health)
 
   std::uint64_t operations() const {
-    return ok + suppressed + timeouts + fault_aborts + drops + rejected;
+    return ok + suppressed + timeouts + fault_aborts + drops + rejected +
+           auth_failed;
   }
   // Transient-failure outcomes (the retryable statuses) — the numerator of
   // an error-budget rate. Suppressed/Rejected are deterministic verdicts,
@@ -119,8 +122,15 @@ struct SessionTelemetry {
     fault_aborts += o.fault_aborts;
     drops += o.drops;
     rejected += o.rejected;
+    auth_failed += o.auth_failed;
     return *this;
   }
+};
+
+// Result of a successful GCM seal: ciphertext plus the authentication tag.
+struct GcmSealed {
+  std::vector<std::uint8_t> ciphertext;
+  aes::Tag128 tag{};
 };
 
 class AccelSession {
@@ -155,6 +165,19 @@ class AccelSession {
   AccelResult<aes::Bytes> cbcEncrypt(const aes::Bytes& data,
                                      const aes::Iv& iv);
 
+  // On-device AEAD (SP 800-38D): the whole operation — CTR keystream, H,
+  // GHASH, tag — runs on the accelerator under label enforcement; the host
+  // never sees the hash subkey. Any IV length >= 1 byte (12 is the fast
+  // path). `gcmOpen` returns AuthFailed on a tag mismatch (a verdict, not
+  // retryable); transient faults retry like block operations.
+  AccelResult<GcmSealed> gcmSeal(const std::vector<std::uint8_t>& plaintext,
+                                 const std::vector<std::uint8_t>& aad,
+                                 const std::vector<std::uint8_t>& iv);
+  AccelResult<std::vector<std::uint8_t>> gcmOpen(
+      const std::vector<std::uint8_t>& ciphertext,
+      const std::vector<std::uint8_t>& aad, const aes::Tag128& tag,
+      const std::vector<std::uint8_t>& iv);
+
   // Device cycles consumed by this session's synchronous calls.
   std::uint64_t cyclesUsed() const { return cycles_used_; }
   unsigned user() const { return user_; }
@@ -174,6 +197,9 @@ class AccelSession {
   // failed blocks up to the retry budget.
   AccelResult<std::vector<aes::Block>> runBatch(
       const std::vector<aes::Block>& blocks, bool decrypt);
+  // Run one GCM op synchronously, retrying transient failures.
+  AccelResult<GcmResponse> runGcm(GcmRequest req);
+  AccelStatus finishGcm(AccelStatus verdict, std::uint64_t start_cycle);
 
   AesAccelerator& acc_;
   unsigned user_;

@@ -27,6 +27,14 @@ struct StageSlot {
   unsigned user = 0;
   std::uint64_t accept_cycle = 0;
   Label tag{};  // per-stage security tag (Fig. 7)
+  // GCM sequencer routing: an internal block (H derivation, E(K,J0), CTR
+  // keystream) is handed back to the sequencer at the pipeline exit instead
+  // of a user output queue — and is never declassified there; the single
+  // declassification of a GCM op happens when the op's result is released.
+  bool gcm_internal = false;
+  unsigned gcm_op = 0;        // owning sequencer op slot
+  std::uint8_t gcm_role = 0;  // accel::GcmRole
+  std::uint32_t gcm_aux = 0;  // role-specific index (CTR block position)
   // Hardening: parity over the stage data register (rewritten by each
   // stage's datapath together with the data) and over the tag register
   // (written once at acceptance; tags are immutable in flight).

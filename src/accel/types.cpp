@@ -20,6 +20,7 @@ std::string toString(SecurityEventKind k) {
     case SecurityEventKind::FaultDetected: return "fault-detected";
     case SecurityEventKind::FaultScrubbed: return "fault-scrubbed";
     case SecurityEventKind::ServiceHealth: return "service-health";
+    case SecurityEventKind::AuthTagMismatch: return "auth-tag-mismatch";
   }
   return "?";
 }
@@ -32,6 +33,10 @@ std::string toString(FaultSite s) {
     case FaultSite::ScratchTag: return "scratch-tag";
     case FaultSite::RoundKey: return "round-key";
     case FaultSite::ConfigReg: return "config-reg";
+    case FaultSite::GhashStage: return "ghash-stage";
+    case FaultSite::GhashStageTag: return "ghash-stage-tag";
+    case FaultSite::GhashAcc: return "ghash-acc";
+    case FaultSite::GhashKeyTable: return "ghash-key-table";
     case FaultSite::HostDrop: return "host-drop";
     case FaultSite::HostDuplicate: return "host-duplicate";
     case FaultSite::HostStuckReceiver: return "host-stuck-receiver";

@@ -4,8 +4,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "aes/block.h"
+#include "aes/gcm.h"
 #include "lattice/label.h"
 #include "lattice/tag.h"
 
@@ -33,9 +35,10 @@ enum class SecurityEventKind {
   FaultDetected,   // parity mismatch caught at point of use; fail-secure
   FaultScrubbed,   // parity mismatch caught by the background scrub pass
   ServiceHealth,   // service-layer health-state transition (soc::AccelService)
+  AuthTagMismatch, // GCM open failed authentication (a verdict, not a fault)
 };
 
-inline constexpr unsigned kSecurityEventKinds = 11;
+inline constexpr unsigned kSecurityEventKinds = 12;
 
 std::string toString(SecurityEventKind k);
 
@@ -48,13 +51,18 @@ enum class FaultSite {
   ScratchTag,    // key scratchpad tag array (Fig. 5)
   RoundKey,      // round-key RAM word
   ConfigReg,     // configuration register (Section 3.2.4)
+  GhashStage,    // GHASH multiplier stage x/z registers
+  GhashStageTag, // GHASH multiplier stage tag register
+  GhashAcc,      // GHASH stream lane accumulator
+  GhashKeyTable, // GHASH H-power table word
   HostDrop,      // response lost on the host interface
   HostDuplicate, // response replayed on the host interface
   HostStuckReceiver,   // receiver-ready deasserted and held
   HostSpuriousSubmit,  // garbage request injected at the submit port
 };
 
-inline constexpr unsigned kHwFaultSites = 6;  // first 6 enumerators
+inline constexpr unsigned kHwFaultSites = 10;   // first 10 enumerators
+inline constexpr unsigned kHostFaultSites = 4;  // the remaining host sites
 
 std::string toString(FaultSite s);
 
@@ -104,6 +112,36 @@ struct BlockResponse {
   bool suppressed = false;  // protected mode refused to declassify the output
   bool fault_aborted = false;  // squashed by the fail-secure fault path
   bool dropped = false;        // overflow buffer full; completion record only
+};
+
+// One authenticated-encryption operation submitted to the GCM sequencer.
+// `data` is plaintext for a seal, ciphertext for an open; sizes need not be
+// block-aligned (SP 800-38D partial final blocks are handled on-device).
+struct GcmRequest {
+  std::uint64_t req_id = 0;
+  unsigned user = 0;
+  unsigned key_slot = 0;
+  bool open = false;  // false: seal (encrypt+tag); true: open (verify+decrypt)
+  std::vector<std::uint8_t> iv;   // any non-zero length; 12 bytes is fast path
+  std::vector<std::uint8_t> aad;
+  std::vector<std::uint8_t> data;
+  aes::Tag128 tag{};  // expected tag (open only)
+};
+
+// Terminal outcome of a GCM operation. Exactly one of the flag fields is
+// set on failure; on success `data` holds ciphertext (seal) or plaintext
+// (open) and `tag` the computed auth tag (seal only — an open never echoes
+// a tag, it only verdicts).
+struct GcmResponse {
+  std::uint64_t req_id = 0;
+  unsigned user = 0;
+  std::vector<std::uint8_t> data;
+  aes::Tag128 tag{};
+  std::uint64_t accept_cycle = 0;
+  std::uint64_t complete_cycle = 0;
+  bool suppressed = false;    // declassification of the result was refused
+  bool fault_aborted = false; // a fault hit the op's state; nothing released
+  bool auth_failed = false;   // open only: tag mismatch (verdict, not fault)
 };
 
 }  // namespace aesifc::accel

@@ -136,28 +136,38 @@ GhashKey::GhashKey(const Tag128& h) {
 }
 
 Tag128 GhashKey::mul(const Tag128& x) const {
-  const auto& rem = rem4Table();
-  Tag128 z{};
   // Horner over the 32 nibbles of x, highest powers first (the low nibble
   // of byte 15 holds x^124..x^127): z = z·x^4 ^ (nibble · H).
-  for (int b = 15; b >= 0; --b) {
-    for (unsigned half = 0; half < 2; ++half) {
-      const unsigned dropped = z[15] & 0x0F;
-      for (int i = 15; i > 0; --i) {
-        z[static_cast<unsigned>(i)] = static_cast<std::uint8_t>(
-            (z[static_cast<unsigned>(i)] >> 4) |
-            (z[static_cast<unsigned>(i - 1)] << 4));
-      }
-      z[0] >>= 4;
-      z[0] ^= rem[dropped][0];
-      z[1] ^= rem[dropped][1];
-      const unsigned nib =
-          half == 0 ? (x[static_cast<unsigned>(b)] & 0x0F)
-                    : (x[static_cast<unsigned>(b)] >> 4);
-      z = xorTags(z, table_[nib]);
+  return mulSteps(x, Tag128{}, 0, 32);
+}
+
+Tag128 GhashKey::mulSteps(const Tag128& x, Tag128 z, unsigned first,
+                          unsigned count) const {
+  const auto& rem = rem4Table();
+  // Step s walks byte 15 down to 0, low nibble before high — the same
+  // order mul() has always used, just re-startable at any step boundary.
+  for (unsigned s = first; s < first + count && s < 32; ++s) {
+    const unsigned b = 15 - s / 2;
+    const unsigned half = s % 2;
+    const unsigned dropped = z[15] & 0x0F;
+    for (int i = 15; i > 0; --i) {
+      z[static_cast<unsigned>(i)] = static_cast<std::uint8_t>(
+          (z[static_cast<unsigned>(i)] >> 4) |
+          (z[static_cast<unsigned>(i - 1)] << 4));
     }
+    z[0] >>= 4;
+    z[0] ^= rem[dropped][0];
+    z[1] ^= rem[dropped][1];
+    const unsigned nib = half == 0 ? (x[b] & 0x0F) : (x[b] >> 4);
+    z = xorTags(z, table_[nib]);
   }
   return z;
+}
+
+bool GhashKey::flipTableBit(unsigned entry, unsigned bit) {
+  if (entry >= 16 || bit >= 128) return false;
+  table_[entry][bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  return true;
 }
 
 Tag128 ghash(const Tag128& h, const std::vector<std::uint8_t>& data) {
@@ -181,19 +191,33 @@ Tag128 ghashNaive(const Tag128& h, const std::vector<std::uint8_t>& data) {
   return y;
 }
 
+Block deriveJ0(const Tag128& h, const std::vector<std::uint8_t>& iv) {
+  Block j0{};
+  if (iv.size() == 12) {
+    std::memcpy(j0.data(), iv.data(), 12);
+    j0[15] = 1;
+    return j0;
+  }
+  std::vector<std::uint8_t> s;
+  s.reserve(((iv.size() + 15) / 16 + 1) * 16);
+  appendPadded(s, iv);
+  appendLen64(s, 0);
+  appendLen64(s, iv.size());
+  const Tag128 y = ghash(h, s);
+  std::memcpy(j0.data(), y.data(), 16);
+  return j0;
+}
+
 GcmResult gcmEncrypt(const std::vector<std::uint8_t>& plaintext,
                      const std::vector<std::uint8_t>& aad,
                      const ExpandedKey& key,
-                     const std::array<std::uint8_t, 12>& iv) {
+                     const std::vector<std::uint8_t>& iv) {
   const Block zero{};
   const Block h_block = encryptBlock(zero, key);
   Tag128 h{};
   std::memcpy(h.data(), h_block.data(), 16);
 
-  Block j0{};
-  std::memcpy(j0.data(), iv.data(), 12);
-  j0[15] = 1;
-
+  const Block j0 = deriveJ0(h, iv);
   Block icb = j0;
   inc32(icb);
 
@@ -203,18 +227,24 @@ GcmResult gcmEncrypt(const std::vector<std::uint8_t>& plaintext,
   return r;
 }
 
+GcmResult gcmEncrypt(const std::vector<std::uint8_t>& plaintext,
+                     const std::vector<std::uint8_t>& aad,
+                     const ExpandedKey& key,
+                     const std::array<std::uint8_t, 12>& iv) {
+  return gcmEncrypt(plaintext, aad, key,
+                    std::vector<std::uint8_t>(iv.begin(), iv.end()));
+}
+
 std::optional<std::vector<std::uint8_t>> gcmDecrypt(
     const std::vector<std::uint8_t>& ciphertext,
     const std::vector<std::uint8_t>& aad, const Tag128& tag,
-    const ExpandedKey& key, const std::array<std::uint8_t, 12>& iv) {
+    const ExpandedKey& key, const std::vector<std::uint8_t>& iv) {
   const Block zero{};
   const Block h_block = encryptBlock(zero, key);
   Tag128 h{};
   std::memcpy(h.data(), h_block.data(), 16);
 
-  Block j0{};
-  std::memcpy(j0.data(), iv.data(), 12);
-  j0[15] = 1;
+  const Block j0 = deriveJ0(h, iv);
 
   const Tag128 expect = computeTag(key, h, j0, aad, ciphertext);
   // Constant-time comparison (no early exit on mismatch).
@@ -225,6 +255,14 @@ std::optional<std::vector<std::uint8_t>> gcmDecrypt(
   Block icb = j0;
   inc32(icb);
   return gctr(key, icb, ciphertext);
+}
+
+std::optional<std::vector<std::uint8_t>> gcmDecrypt(
+    const std::vector<std::uint8_t>& ciphertext,
+    const std::vector<std::uint8_t>& aad, const Tag128& tag,
+    const ExpandedKey& key, const std::array<std::uint8_t, 12>& iv) {
+  return gcmDecrypt(ciphertext, aad, tag, key,
+                    std::vector<std::uint8_t>(iv.begin(), iv.end()));
 }
 
 }  // namespace aesifc::aes

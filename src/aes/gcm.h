@@ -30,6 +30,20 @@ class GhashKey {
   // x · H in GF(2^128).
   Tag128 mul(const Tag128& x) const;
 
+  // Partial product at nibble-step granularity, for hardware models that
+  // pipeline the multiply across stages: runs steps [first, first + count)
+  // of the same 32-step Horner walk mul() performs, threading the partial
+  // product z through. mul(x) == mulSteps(x, {}, 0, 32), so a staged
+  // implementation is bit-identical to the host path by construction.
+  Tag128 mulSteps(const Tag128& x, Tag128 z, unsigned first,
+                  unsigned count) const;
+
+  // Raw table access for checksumming in hardened hardware models.
+  const std::array<Tag128, 16>& table() const { return table_; }
+  // Fault-injection port (single-event upset in a table word; no checksum
+  // update). Returns false when entry/bit are out of range.
+  bool flipTableBit(unsigned entry, unsigned bit);
+
  private:
   std::array<Tag128, 16> table_{};
 };
@@ -47,13 +61,29 @@ struct GcmResult {
   Tag128 tag;
 };
 
-// GCM encryption with a 96-bit IV (the recommended size).
+// Pre-counter block J0 for an IV of any length (SP 800-38D Section 7.1):
+// a 96-bit IV becomes IV || 0^31 || 1; any other length is hashed,
+// J0 = GHASH_H(IV || pad || 0^64 || [len(IV)]_64).
+Block deriveJ0(const Tag128& h, const std::vector<std::uint8_t>& iv);
+
+// GCM encryption with an IV of any non-zero length.
+GcmResult gcmEncrypt(const std::vector<std::uint8_t>& plaintext,
+                     const std::vector<std::uint8_t>& aad,
+                     const ExpandedKey& key,
+                     const std::vector<std::uint8_t>& iv);
+
+// Convenience overload for the recommended 96-bit IV.
 GcmResult gcmEncrypt(const std::vector<std::uint8_t>& plaintext,
                      const std::vector<std::uint8_t>& aad,
                      const ExpandedKey& key,
                      const std::array<std::uint8_t, 12>& iv);
 
 // Returns nullopt on authentication failure.
+std::optional<std::vector<std::uint8_t>> gcmDecrypt(
+    const std::vector<std::uint8_t>& ciphertext,
+    const std::vector<std::uint8_t>& aad, const Tag128& tag,
+    const ExpandedKey& key, const std::vector<std::uint8_t>& iv);
+
 std::optional<std::vector<std::uint8_t>> gcmDecrypt(
     const std::vector<std::uint8_t>& ciphertext,
     const std::vector<std::uint8_t>& aad, const Tag128& tag,

@@ -10,7 +10,8 @@ using accel::FaultSite;
 namespace {
 
 FaultSite faultSiteFromString(const std::string& name) {
-  for (unsigned s = 0; s < 10; ++s) {
+  for (unsigned s = 0; s < accel::kHwFaultSites + accel::kHostFaultSites;
+       ++s) {
     const auto site = static_cast<FaultSite>(s);
     if (accel::toString(site) == name) return site;
   }
@@ -122,6 +123,25 @@ void FaultInjector::injectHw() {
       rec.index = static_cast<unsigned>(rng_.below(4));
       rec.bit = static_cast<unsigned>(rng_.below(32));
       break;
+    case FaultSite::GhashStage:
+      rec.index = static_cast<unsigned>(rng_.below(accel::kGhashStages));
+      rec.bit = static_cast<unsigned>(rng_.below(256));  // x || z
+      break;
+    case FaultSite::GhashStageTag:
+      rec.index = static_cast<unsigned>(rng_.below(accel::kGhashStages));
+      rec.bit = static_cast<unsigned>(rng_.below(32));
+      break;
+    case FaultSite::GhashAcc:
+      rec.index = static_cast<unsigned>(rng_.below(accel::kGhashStreams));
+      rec.bit =
+          static_cast<unsigned>(rng_.below(128 * accel::kGhashLanes));
+      break;
+    case FaultSite::GhashKeyTable:
+      rec.index = static_cast<unsigned>(rng_.below(accel::kGhashKeySlots));
+      // power*2048 + entry*128 + bit over the per-slot H-power tables.
+      rec.bit = static_cast<unsigned>(
+          rng_.below(accel::kGhashLanes * 16 * 128));
+      break;
     default:
       return;
   }
@@ -160,6 +180,10 @@ void FaultInjector::applyRecord(FaultRecord rec) {
     case FaultSite::ScratchTag:
     case FaultSite::RoundKey:
     case FaultSite::ConfigReg:
+    case FaultSite::GhashStage:
+    case FaultSite::GhashStageTag:
+    case FaultSite::GhashAcc:
+    case FaultSite::GhashKeyTable:
       rec.applied = acc_.injectFault(rec.site, rec.index, rec.bit);
       break;
     case FaultSite::HostDrop:

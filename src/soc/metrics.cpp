@@ -59,7 +59,8 @@ double percentile(std::vector<std::uint64_t> samples, double q) {
   return static_cast<double>(samples[idx]);
 }
 
-LatencyStats latencyStats(const std::vector<std::uint64_t>& samples) {
+LatencyStats latencyStats(const std::vector<std::uint64_t>& samples,
+                          StddevKind kind) {
   LatencyStats s;
   if (samples.empty()) return s;
   s.count = samples.size();
@@ -77,7 +78,15 @@ LatencyStats latencyStats(const std::vector<std::uint64_t>& samples) {
     const double d = static_cast<double>(v) - s.mean;
     var += d * d;
   }
-  s.stddev = std::sqrt(var / static_cast<double>(samples.size()));
+  if (kind == StddevKind::Sample) {
+    // Bessel's correction needs at least two samples; a single observation
+    // has no sample variance (reported as 0, never NaN).
+    s.stddev = samples.size() < 2
+                   ? 0.0
+                   : std::sqrt(var / static_cast<double>(samples.size() - 1));
+  } else {
+    s.stddev = std::sqrt(var / static_cast<double>(samples.size()));
+  }
 
   std::vector<std::uint64_t> sorted = samples;
   std::sort(sorted.begin(), sorted.end());

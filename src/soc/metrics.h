@@ -25,11 +25,17 @@ double pearson(const std::vector<double>& x, const std::vector<double>& y);
 // are <= it. Returns 0.0 on an empty sample set.
 double percentile(std::vector<std::uint64_t> samples, double q);
 
+// Which standard-deviation estimator latencyStats reports. Population
+// (divide by N) is the default: the samples are usually the complete set of
+// observed completions for the run being reported. Sample (divide by N-1,
+// Bessel's correction) is for callers treating the run as a draw from a
+// larger population — e.g. projecting a smoke run onto full-length traffic.
+enum class StddevKind { Population, Sample };
+
 struct LatencyStats {
   double mean = 0.0;
-  // POPULATION standard deviation (divide by N, not N-1): the samples are
-  // the complete set of observed completions for the run being reported,
-  // not a sample drawn from a larger population. 0 for count < 2.
+  // Standard deviation under the estimator the caller selected (population
+  // by default — see StddevKind). 0 for count < 2 in either mode.
   double stddev = 0.0;
   std::uint64_t min = 0;
   std::uint64_t max = 0;
@@ -44,7 +50,8 @@ struct LatencyStats {
   std::string toJson() const;
 };
 
-LatencyStats latencyStats(const std::vector<std::uint64_t>& samples);
+LatencyStats latencyStats(const std::vector<std::uint64_t>& samples,
+                          StddevKind kind = StddevKind::Population);
 
 // Robustness scorecard for a fault campaign: the accelerator's fault
 // counters plus the driver's retry telemetry, with the derived rates the

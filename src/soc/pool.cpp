@@ -91,6 +91,29 @@ std::optional<Completion> EnginePool::fetch(unsigned tenant) {
   return shards_[r.shard].service->fetch(r.local);
 }
 
+SubmitResult EnginePool::submitSeal(unsigned tenant,
+                                    const std::vector<std::uint8_t>& plaintext,
+                                    const std::vector<std::uint8_t>& aad,
+                                    const std::vector<std::uint8_t>& iv) {
+  const Route& r = routes_.at(tenant);
+  return shards_[r.shard].service->submitSeal(r.local, plaintext, aad, iv);
+}
+
+SubmitResult EnginePool::submitOpen(unsigned tenant,
+                                    const std::vector<std::uint8_t>& ciphertext,
+                                    const std::vector<std::uint8_t>& aad,
+                                    const aes::Tag128& tag,
+                                    const std::vector<std::uint8_t>& iv) {
+  const Route& r = routes_.at(tenant);
+  return shards_[r.shard].service->submitOpen(r.local, ciphertext, aad, tag,
+                                              iv);
+}
+
+std::optional<AeadCompletion> EnginePool::fetchAead(unsigned tenant) {
+  const Route& r = routes_.at(tenant);
+  return shards_[r.shard].service->fetchAead(r.local);
+}
+
 unsigned EnginePool::pump() {
   unsigned resolved = 0;
   for (auto& sh : shards_) resolved += sh.service->pump();

@@ -85,6 +85,19 @@ class EnginePool {
   // Pop the tenant's next completion, oldest first.
   std::optional<Completion> fetch(unsigned tenant);
 
+  // AEAD (GCM) submission to the tenant's shard: one whole message per op,
+  // admission-controlled like block traffic (see AccelService::submitSeal).
+  SubmitResult submitSeal(unsigned tenant,
+                          const std::vector<std::uint8_t>& plaintext,
+                          const std::vector<std::uint8_t>& aad,
+                          const std::vector<std::uint8_t>& iv);
+  SubmitResult submitOpen(unsigned tenant,
+                          const std::vector<std::uint8_t>& ciphertext,
+                          const std::vector<std::uint8_t>& aad,
+                          const aes::Tag128& tag,
+                          const std::vector<std::uint8_t>& iv);
+  std::optional<AeadCompletion> fetchAead(unsigned tenant);
+
   // One scheduling round on every shard (serial; deterministic). Returns
   // requests resolved across the pool.
   unsigned pump();

@@ -19,6 +19,7 @@ std::string toString(CompletionStatus s) {
     case CompletionStatus::Dropped: return "dropped";
     case CompletionStatus::Rejected: return "rejected";
     case CompletionStatus::Shed: return "shed";
+    case CompletionStatus::AuthFailed: return "auth-failed";
   }
   return "?";
 }
@@ -46,7 +47,12 @@ std::string ServiceStats::toJson() const {
      << ",\"batch_fallbacks\":" << batch_fallbacks
      << ",\"canary_rounds\":" << canary_rounds
      << ",\"canary_failures\":" << canary_failures
-     << ",\"key_reprovisions\":" << key_reprovisions << "}";
+     << ",\"key_reprovisions\":" << key_reprovisions
+     << ",\"aead_offered\":" << aead_offered
+     << ",\"aead_admitted\":" << aead_admitted
+     << ",\"aead_completed_hw\":" << aead_completed_hw
+     << ",\"aead_completed_fallback\":" << aead_completed_fallback
+     << ",\"aead_auth_failed\":" << aead_auth_failed << "}";
   return os.str();
 }
 
@@ -67,6 +73,11 @@ ServiceStats& ServiceStats::operator+=(const ServiceStats& o) {
   canary_rounds += o.canary_rounds;
   canary_failures += o.canary_failures;
   key_reprovisions += o.key_reprovisions;
+  aead_offered += o.aead_offered;
+  aead_admitted += o.aead_admitted;
+  aead_completed_hw += o.aead_completed_hw;
+  aead_completed_fallback += o.aead_completed_fallback;
+  aead_auth_failed += o.aead_auth_failed;
   return *this;
 }
 
@@ -86,6 +97,8 @@ unsigned AccelService::addTenant(const TenantSpec& spec) {
   golden_.push_back(aes::expandKey(spec.key, aes::KeySize::Aes128));
   queues_.emplace_back();
   completions_.emplace_back();
+  aead_queues_.emplace_back();
+  aead_completions_.emplace_back();
   completed_per_tenant_.push_back(0);
   return t;
 }
@@ -93,6 +106,7 @@ unsigned AccelService::addTenant(const TenantSpec& spec) {
 std::size_t AccelService::totalQueued() const {
   std::size_t n = 0;
   for (const auto& q : queues_) n += q.size();
+  for (const auto& q : aead_queues_) n += q.size();
   return n;
 }
 
@@ -153,6 +167,85 @@ void AccelService::complete(unsigned tenant, const Request& req,
   c.submit_cycle = req.submit_cycle;
   c.complete_cycle = acc_.cycle();
   completions_.at(tenant).push_back(std::move(c));
+  if (st == CompletionStatus::Ok) ++completed_per_tenant_.at(tenant);
+}
+
+SubmitResult AccelService::submitAead(unsigned tenant, AeadRequest req) {
+  ++stats_.offered;
+  ++stats_.aead_offered;
+  auto& q = aead_queues_.at(tenant);
+  if (totalQueued() >= cfg_.global_high_watermark) {
+    ++stats_.rejected_backpressure;
+    return {false, 0, AdmitError::Backpressure};
+  }
+  if (q.size() >= tenants_[tenant].aead_queue_depth) {
+    if (cfg_.overflow == OverflowPolicy::RejectNew) {
+      ++stats_.rejected_queue_full;
+      return {false, 0, AdmitError::QueueFull};
+    }
+    AeadRequest victim = std::move(q.front());
+    q.pop_front();
+    ++stats_.shed;
+    completeAead(tenant, victim, CompletionStatus::Shed, ServedBy::None, {},
+                 aes::Tag128{});
+  }
+  req.ticket = next_ticket_++;
+  req.submit_cycle = acc_.cycle();
+  const std::uint64_t ticket = req.ticket;
+  q.push_back(std::move(req));
+  ++stats_.admitted;
+  ++stats_.aead_admitted;
+  return {true, ticket, AdmitError::QueueFull};
+}
+
+SubmitResult AccelService::submitSeal(unsigned tenant,
+                                      const std::vector<std::uint8_t>& plaintext,
+                                      const std::vector<std::uint8_t>& aad,
+                                      const std::vector<std::uint8_t>& iv) {
+  AeadRequest req;
+  req.open = false;
+  req.iv = iv;
+  req.aad = aad;
+  req.data = plaintext;
+  return submitAead(tenant, std::move(req));
+}
+
+SubmitResult AccelService::submitOpen(unsigned tenant,
+                                      const std::vector<std::uint8_t>& ciphertext,
+                                      const std::vector<std::uint8_t>& aad,
+                                      const aes::Tag128& tag,
+                                      const std::vector<std::uint8_t>& iv) {
+  AeadRequest req;
+  req.open = true;
+  req.iv = iv;
+  req.aad = aad;
+  req.data = ciphertext;
+  req.tag = tag;
+  return submitAead(tenant, std::move(req));
+}
+
+std::optional<AeadCompletion> AccelService::fetchAead(unsigned tenant) {
+  auto& c = aead_completions_.at(tenant);
+  if (c.empty()) return std::nullopt;
+  AeadCompletion out = std::move(c.front());
+  c.pop_front();
+  return out;
+}
+
+void AccelService::completeAead(unsigned tenant, const AeadRequest& req,
+                                CompletionStatus st, ServedBy by,
+                                std::vector<std::uint8_t> data,
+                                const aes::Tag128& tag) {
+  AeadCompletion c;
+  c.ticket = req.ticket;
+  c.tenant = tenant;
+  c.status = st;
+  c.served_by = by;
+  c.data = std::move(data);
+  c.tag = tag;
+  c.submit_cycle = req.submit_cycle;
+  c.complete_cycle = acc_.cycle();
+  aead_completions_.at(tenant).push_back(std::move(c));
   if (st == CompletionStatus::Ok) ++completed_per_tenant_.at(tenant);
 }
 
@@ -253,6 +346,113 @@ void AccelService::serveHardware(unsigned tenant, Request req) {
   complete(tenant, req, st, ServedBy::Hardware, aes::Block{});
 }
 
+void AccelService::serveAeadFallback(unsigned tenant, const AeadRequest& req) {
+  // Same contract as serveFallback, lifted to a whole message: the golden
+  // software GCM computes the answer, but release still passes the Eq. 1
+  // declassification check, and the shared clock is charged per block so
+  // quarantine residency reflects the real work.
+  const auto& spec = tenants_[tenant];
+  const auto decision =
+      degradedReleaseDecision(acc_.principal(spec.user), spec.key_conf);
+  const std::uint64_t blocks = (req.data.size() + 15) / 16 +
+                               (req.aad.size() + 15) / 16 +
+                               (req.iv.size() + 15) / 16 + 2;  // + J0, tag
+  acc_.run(cfg_.fallback_cycles_per_block * blocks);
+  if (!decision.allowed) {
+    ++stats_.fallback_suppressed;
+    completeAead(tenant, req, CompletionStatus::Suppressed,
+                 ServedBy::SoftwareFallback, {}, aes::Tag128{});
+    return;
+  }
+  if (req.open) {
+    auto pt = aes::gcmDecrypt(req.data, req.aad, req.tag, golden_[tenant],
+                              req.iv);
+    if (!pt.has_value()) {
+      ++stats_.aead_auth_failed;
+      completeAead(tenant, req, CompletionStatus::AuthFailed,
+                   ServedBy::SoftwareFallback, {}, aes::Tag128{});
+      return;
+    }
+    ++stats_.aead_completed_fallback;
+    completeAead(tenant, req, CompletionStatus::Ok, ServedBy::SoftwareFallback,
+                 std::move(*pt), aes::Tag128{});
+    return;
+  }
+  auto r = aes::gcmEncrypt(req.data, req.aad, golden_[tenant], req.iv);
+  ++stats_.aead_completed_fallback;
+  completeAead(tenant, req, CompletionStatus::Ok, ServedBy::SoftwareFallback,
+               std::move(r.ciphertext), r.tag);
+}
+
+void AccelService::serveAeadHardware(unsigned tenant, AeadRequest req) {
+  auto& session = sessions_[tenant];
+  AccelStatus st;
+  std::vector<std::uint8_t> out;
+  aes::Tag128 tag{};
+  if (req.open) {
+    auto r = session.gcmOpen(req.data, req.aad, req.tag, req.iv);
+    st = r.status();
+    if (r.has_value()) out = std::move(*r);
+  } else {
+    auto r = session.gcmSeal(req.data, req.aad, req.iv);
+    st = r.status();
+    if (r.has_value()) {
+      out = std::move(r->ciphertext);
+      tag = r->tag;
+    }
+  }
+  switch (st) {
+    case AccelStatus::Ok:
+      ++stats_.aead_completed_hw;
+      completeAead(tenant, req, CompletionStatus::Ok, ServedBy::Hardware,
+                   std::move(out), tag);
+      return;
+    case AccelStatus::Suppressed:
+      completeAead(tenant, req, CompletionStatus::Suppressed,
+                   ServedBy::Hardware, {}, aes::Tag128{});
+      return;
+    case AccelStatus::AuthFailed:
+      // A tag mismatch is a verdict about the message, not about device
+      // health: terminal, never requeued, never failed over to software.
+      ++stats_.aead_auth_failed;
+      completeAead(tenant, req, CompletionStatus::AuthFailed,
+                   ServedBy::Hardware, {}, aes::Tag128{});
+      return;
+    case AccelStatus::Rejected:
+      if (req.requeues < cfg_.max_requeues && reprovisionKey(tenant)) {
+        ++req.requeues;
+        ++stats_.requeues;
+        aead_queues_[tenant].push_front(std::move(req));
+      } else {
+        completeAead(tenant, req, CompletionStatus::Rejected,
+                     ServedBy::Hardware, {}, aes::Tag128{});
+      }
+      return;
+    default:
+      break;
+  }
+  ++stats_.hw_transient_failures;
+  if (req.requeues < cfg_.max_requeues) {
+    ++req.requeues;
+    ++stats_.requeues;
+    aead_queues_[tenant].push_front(std::move(req));
+    return;
+  }
+  CompletionStatus cs = CompletionStatus::TimedOut;
+  if (st == AccelStatus::FaultAborted) cs = CompletionStatus::FaultAborted;
+  else if (st == AccelStatus::Dropped) cs = CompletionStatus::Dropped;
+  completeAead(tenant, req, cs, ServedBy::Hardware, {}, aes::Tag128{});
+}
+
+void AccelService::serveAead(unsigned tenant, AeadRequest req) {
+  const HealthState st = monitor_.state();
+  if (st == HealthState::Quarantined || st == HealthState::Probation) {
+    serveAeadFallback(tenant, req);
+  } else {
+    serveAeadHardware(tenant, std::move(req));
+  }
+}
+
 void AccelService::serveOne(unsigned tenant, Request req) {
   const HealthState st = monitor_.state();
   if (st == HealthState::Quarantined || st == HealthState::Probation) {
@@ -346,6 +546,7 @@ void AccelService::sampleWindowIfDue() {
   d.fault_aborts -= window_base_.fault_aborts;
   d.drops -= window_base_.drops;
   d.rejected -= window_base_.rejected;
+  d.auth_failed -= window_base_.auth_failed;
 
   RobustnessStats w;
   w.timeouts = d.timeouts;
@@ -355,7 +556,9 @@ void AccelService::sampleWindowIfDue() {
   // Deterministic refusals (rejected, suppressed) say nothing about device
   // health — counting them would dilute the transient rate exactly when the
   // service is churning through key reprovisions. The denominator is only
-  // the verdicts a healthy device would have completed.
+  // the verdicts a healthy device would have completed. Auth-tag mismatches
+  // are likewise message verdicts, not device health, and stay out of both
+  // numerator and denominator.
   const std::uint64_t ops = d.ok + d.timeouts + d.fault_aborts + d.drops;
   monitor_.onWindow(w, ops, d.ok, acc_.cycle());
   window_start_cycle_ = acc_.cycle();
@@ -422,12 +625,23 @@ unsigned AccelService::pump() {
     const unsigned t = (rr_next_ + k) % n;
     unsigned served = 0;
     const std::size_t before = completions_[t].size();
+    const std::size_t before_aead = aead_completions_[t].size();
+    // AEAD first: one whole GCM op is one quota unit, and serving it ahead
+    // of the block queue keeps a long message from starving behind blocks.
+    while (served < cfg_.quota_per_round && !aead_queues_[t].empty()) {
+      AeadRequest areq = std::move(aead_queues_[t].front());
+      aead_queues_[t].pop_front();
+      serveAead(t, std::move(areq));
+      ++served;
+    }
     while (served < cfg_.quota_per_round && !queues_[t].empty()) {
       // A request the robustness path re-queues is re-popped here and
       // charged against the quota again, exactly as it was pre-batching.
       served += serveRun(t, cfg_.quota_per_round - served);
     }
     resolved += static_cast<unsigned>(completions_[t].size() - before);
+    resolved +=
+        static_cast<unsigned>(aead_completions_[t].size() - before_aead);
   }
   if (n) rr_next_ = (rr_next_ + 1) % n;
 

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "accel/driver.h"
+#include "aes/gcm.h"
 #include "aes/key_schedule.h"
 #include "soc/health.h"
 #include "soc/metrics.h"
@@ -94,6 +95,9 @@ struct TenantSpec {
   std::vector<std::uint8_t> key;  // raw AES-128 key bytes
   lattice::Conf key_conf{};  // ck of the provisioned key
   std::size_t queue_depth = 16;
+  // AEAD operations queue separately (one GCM op is one scheduling unit,
+  // not one block), with their own depth bound.
+  std::size_t aead_queue_depth = 8;
 };
 
 enum class ServedBy { Hardware, SoftwareFallback, None };
@@ -106,6 +110,7 @@ enum class CompletionStatus {
   Dropped,       // overflow-buffer loss survived all requeues
   Rejected,      // deterministic submit refusal (e.g. zeroized slot)
   Shed,          // evicted by the tenant's own ShedOldest admission policy
+  AuthFailed,    // GCM open: tag mismatch — a message verdict, never retried
 };
 
 std::string toString(CompletionStatus s);
@@ -117,6 +122,18 @@ struct Completion {
   CompletionStatus status = CompletionStatus::Ok;
   ServedBy served_by = ServedBy::None;
   aes::Block data{};
+  std::uint64_t submit_cycle = 0;
+  std::uint64_t complete_cycle = 0;
+};
+
+// Terminal record for one AEAD (GCM) operation.
+struct AeadCompletion {
+  std::uint64_t ticket = 0;
+  unsigned tenant = 0;
+  CompletionStatus status = CompletionStatus::Ok;
+  ServedBy served_by = ServedBy::None;
+  std::vector<std::uint8_t> data;  // ciphertext (seal) or plaintext (open)
+  aes::Tag128 tag{};               // auth tag (seal only)
   std::uint64_t submit_cycle = 0;
   std::uint64_t complete_cycle = 0;
 };
@@ -150,6 +167,12 @@ struct ServiceStats {
   std::uint64_t canary_rounds = 0;
   std::uint64_t canary_failures = 0;
   std::uint64_t key_reprovisions = 0;
+  // AEAD (GCM) traffic — one op may be many blocks but is one queue unit.
+  std::uint64_t aead_offered = 0;
+  std::uint64_t aead_admitted = 0;
+  std::uint64_t aead_completed_hw = 0;
+  std::uint64_t aead_completed_fallback = 0;
+  std::uint64_t aead_auth_failed = 0;  // tag-mismatch verdicts (not health)
 
   std::string toJson() const;
 
@@ -174,6 +197,24 @@ class AccelService {
 
   // Pop the tenant's next completion, oldest first.
   std::optional<Completion> fetch(unsigned tenant);
+
+  // Offer one AEAD operation (whole-message GCM seal/open). Admission uses
+  // the same global watermark as blocks plus the tenant's own AEAD queue
+  // depth; one op is one quota unit in pump(), served ahead of the block
+  // queue so a long message cannot be starved by block traffic behind it.
+  SubmitResult submitSeal(unsigned tenant,
+                          const std::vector<std::uint8_t>& plaintext,
+                          const std::vector<std::uint8_t>& aad,
+                          const std::vector<std::uint8_t>& iv);
+  SubmitResult submitOpen(unsigned tenant,
+                          const std::vector<std::uint8_t>& ciphertext,
+                          const std::vector<std::uint8_t>& aad,
+                          const aes::Tag128& tag,
+                          const std::vector<std::uint8_t>& iv);
+  std::optional<AeadCompletion> fetchAead(unsigned tenant);
+  std::size_t aeadQueued(unsigned tenant) const {
+    return aead_queues_.at(tenant).size();
+  }
 
   // One scheduling round: serve up to quota_per_round blocks per tenant
   // (hardware or fallback per the current health state), advance the error
@@ -207,6 +248,17 @@ class AccelService {
     unsigned requeues = 0;
   };
 
+  struct AeadRequest {
+    std::uint64_t ticket = 0;
+    bool open = false;
+    std::vector<std::uint8_t> iv;
+    std::vector<std::uint8_t> aad;
+    std::vector<std::uint8_t> data;  // plaintext (seal) or ciphertext (open)
+    aes::Tag128 tag{};               // expected tag (open only)
+    std::uint64_t submit_cycle = 0;
+    unsigned requeues = 0;
+  };
+
   void logTransitions();
   void applyStateOptions();
   // Serve up to `max_run` requests from the tenant's queue head — a
@@ -220,6 +272,13 @@ class AccelService {
   void serveFallback(unsigned tenant, const Request& req);
   void complete(unsigned tenant, const Request& req, CompletionStatus st,
                 ServedBy by, const aes::Block& data);
+  SubmitResult submitAead(unsigned tenant, AeadRequest req);
+  void serveAead(unsigned tenant, AeadRequest req);
+  void serveAeadHardware(unsigned tenant, AeadRequest req);
+  void serveAeadFallback(unsigned tenant, const AeadRequest& req);
+  void completeAead(unsigned tenant, const AeadRequest& req,
+                    CompletionStatus st, ServedBy by,
+                    std::vector<std::uint8_t> data, const aes::Tag128& tag);
   void sampleWindowIfDue();
   void runCanaries();
   bool reprovisionKey(unsigned tenant);
@@ -232,6 +291,8 @@ class AccelService {
   std::vector<aes::ExpandedKey> golden_;  // fallback + canary expectations
   std::vector<std::deque<Request>> queues_;
   std::vector<std::deque<Completion>> completions_;
+  std::vector<std::deque<AeadRequest>> aead_queues_;
+  std::vector<std::deque<AeadCompletion>> aead_completions_;
   std::vector<std::uint64_t> completed_per_tenant_;
   ServiceStats stats_;
   std::uint64_t next_ticket_ = 1;

@@ -195,6 +195,72 @@ TEST(Gcm, NistCase4WithAad) {
   EXPECT_FALSE(gcmDecrypt(r.ciphertext, bad_aad, r.tag, key, iv).has_value());
 }
 
+// --- SP 800-38D test cases 5 & 6 (AES-128, non-96-bit IVs) ----------------------
+
+TEST(Gcm, NistCase5ShortIv) {
+  // 64-bit IV: J0 goes through the GHASH derivation path, not IV || 0^31 1.
+  const auto key = expandKey(hexBytes("feffe9928665731c6d6a8f9467308308"),
+                             KeySize::Aes128);
+  const auto iv = hexBytes("cafebabefacedbad");
+  const auto pt = hexBytes(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  const auto aad = hexBytes("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  const auto r = gcmEncrypt(pt, aad, key, iv);
+  EXPECT_EQ(r.ciphertext,
+            hexBytes("61353b4c2806934a777ff51fa22a4755699b2a714fcdc6f8"
+                     "3766e5f97b6c742373806900e49f24b22b097544d4896b42"
+                     "4989b5e1ebac0f07c23f4598"));
+  EXPECT_EQ(r.tag, tagOf("3612d2e79e3b0785561be14aaca2fccb"));
+  const auto dec = gcmDecrypt(r.ciphertext, aad, r.tag, key, iv);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, pt);
+}
+
+TEST(Gcm, NistCase6LongIv) {
+  // 480-bit IV: multiple GHASH blocks in the J0 derivation.
+  const auto key = expandKey(hexBytes("feffe9928665731c6d6a8f9467308308"),
+                             KeySize::Aes128);
+  const auto iv = hexBytes(
+      "9313225df88406e555909c5aff5269aa6a7a9538534f7da1e4c303d2a318a728"
+      "c3c0c95156809539fcf0e2429a6b525416aedbf5a0de6a57a637b39b");
+  const auto pt = hexBytes(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  const auto aad = hexBytes("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  const auto r = gcmEncrypt(pt, aad, key, iv);
+  EXPECT_EQ(r.ciphertext,
+            hexBytes("8ce24998625615b603a033aca13fb894be9112a5c3a211a8"
+                     "ba262a3cca7e2ca701e4a9a4fba43c90ccdcb281d48c7c6f"
+                     "d62875d2aca417034c34aee5"));
+  EXPECT_EQ(r.tag, tagOf("619cc5aefffe0bfa462af43c1699d050"));
+  const auto dec = gcmDecrypt(r.ciphertext, aad, r.tag, key, iv);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, pt);
+}
+
+TEST(Gcm, DeriveJ0MatchesGhashDefinition) {
+  // For a non-96-bit IV, J0 = GHASH_H(IV || pad || 0^64 || [len(IV)]_64).
+  Rng rng{44};
+  Tag128 h{};
+  for (auto& b : h) b = static_cast<std::uint8_t>(rng.next());
+  for (const std::size_t len : {1u, 8u, 16u, 20u, 60u}) {
+    std::vector<std::uint8_t> iv(len);
+    for (auto& b : iv) b = static_cast<std::uint8_t>(rng.next());
+    std::vector<std::uint8_t> msg = iv;
+    msg.resize((len + 15) / 16 * 16, 0);
+    msg.resize(msg.size() + 8, 0);
+    const std::uint64_t bits = 8ULL * len;
+    for (int i = 7; i >= 0; --i)
+      msg.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+    const Tag128 want = ghashNaive(h, msg);
+    Block j0 = deriveJ0(h, iv);
+    Tag128 got{};
+    std::copy(j0.begin(), j0.end(), got.begin());
+    EXPECT_EQ(got, want) << "iv len=" << len;
+  }
+}
+
 // --- Table-driven GHASH vs the bit-at-a-time oracle -----------------------------
 
 TEST(Gf128, GhashKeyMulMatchesGf128Mul) {

@@ -157,6 +157,28 @@ TEST(LatencyStats, PopulationStddevConvention) {
   EXPECT_DOUBLE_EQ(s.stddev, 5.0);
 }
 
+TEST(LatencyStats, SampleStddevAppliesBesselCorrection) {
+  // Known vector {2,4,4,4,5,5,7,9}: mean 5, squared deviations sum to 32,
+  // so population stddev = sqrt(32/8) = 2 and sample stddev = sqrt(32/7).
+  const std::vector<std::uint64_t> v{2, 4, 4, 4, 5, 5, 7, 9};
+  const auto pop = latencyStats(v);  // default stays Population
+  EXPECT_DOUBLE_EQ(pop.mean, 5.0);
+  EXPECT_DOUBLE_EQ(pop.stddev, 2.0);
+  const auto samp = latencyStats(v, StddevKind::Sample);
+  EXPECT_DOUBLE_EQ(samp.mean, 5.0);
+  EXPECT_DOUBLE_EQ(samp.stddev, std::sqrt(32.0 / 7.0));
+  // Everything but the spread estimator is estimator-independent.
+  EXPECT_DOUBLE_EQ(samp.p50, pop.p50);
+  EXPECT_EQ(samp.count, pop.count);
+}
+
+TEST(LatencyStats, SampleStddevDegenerateCounts) {
+  // Bessel's correction is undefined below two samples; both modes report 0
+  // rather than NaN.
+  EXPECT_DOUBLE_EQ(latencyStats({42}, StddevKind::Sample).stddev, 0.0);
+  EXPECT_DOUBLE_EQ(latencyStats({}, StddevKind::Sample).stddev, 0.0);
+}
+
 TEST(RobustnessStats, AccumulateSumsCountersAndRecomputesRates) {
   RobustnessStats a;
   a.faults_injected = 10;
