@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -65,7 +66,9 @@ std::vector<unsigned> addTenants(soc::EnginePool& pool, unsigned tenants) {
     for (unsigned i = 0; i < 16; ++i)
       spec.key[i] = static_cast<std::uint8_t>(0x40 + 13 * t + i);
     spec.queue_depth = 64;
-    ids.push_back(pool.addTenant(spec));
+    const soc::PlaceResult placed = pool.addTenant(spec);
+    if (!placed.placed) throw std::runtime_error("bench: pool refused tenant");
+    ids.push_back(placed.tenant);
   }
   return ids;
 }

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -149,7 +150,9 @@ PoolRunResult runPool(unsigned shards, unsigned batch, unsigned tenants,
     for (unsigned i = 0; i < 16; ++i)
       spec.key[i] = static_cast<std::uint8_t>(0x40 + 13 * t + i);
     spec.queue_depth = 64;
-    ids.push_back(pool.addTenant(spec));
+    const soc::PlaceResult placed = pool.addTenant(spec);
+    if (!placed.placed) throw std::runtime_error("bench: pool refused tenant");
+    ids.push_back(placed.tenant);
   }
 
   // Closed loop in waves: top every tenant's queue up, drain the pool to

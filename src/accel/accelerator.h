@@ -194,6 +194,13 @@ class AesAccelerator {
   void noteServiceEvent(unsigned user, std::string detail) {
     recordEvent(SecurityEventKind::ServiceHealth, user, std::move(detail));
   }
+  // Host-software entry for the tenant-migration audit kinds (and any other
+  // host-originated incident): the pool stamps the same Begun/KeyZeroized/
+  // Committed triple into both shards' rings through this port.
+  void noteHostEvent(SecurityEventKind kind, unsigned user,
+                     std::string detail) {
+    recordEvent(kind, user, std::move(detail));
+  }
 
   const std::deque<SecurityEvent>& events() const { return events_; }
   std::size_t eventCount(SecurityEventKind k) const;

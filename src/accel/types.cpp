@@ -21,6 +21,10 @@ std::string toString(SecurityEventKind k) {
     case SecurityEventKind::FaultScrubbed: return "fault-scrubbed";
     case SecurityEventKind::ServiceHealth: return "service-health";
     case SecurityEventKind::AuthTagMismatch: return "auth-tag-mismatch";
+    case SecurityEventKind::MigrationBegun: return "migration-begun";
+    case SecurityEventKind::MigrationKeyZeroized:
+      return "migration-key-zeroized";
+    case SecurityEventKind::MigrationCommitted: return "migration-committed";
   }
   return "?";
 }

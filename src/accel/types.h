@@ -36,9 +36,17 @@ enum class SecurityEventKind {
   FaultScrubbed,   // parity mismatch caught by the background scrub pass
   ServiceHealth,   // service-layer health-state transition (soc::AccelService)
   AuthTagMismatch, // GCM open failed authentication (a verdict, not a fault)
+  // Tenant-migration audit trail (soc::EnginePool). The three kinds are
+  // emitted pairwise into BOTH the source and destination shards' rings so
+  // either ring alone tells the whole handover story in cycle order:
+  // Begun -> (key live at target) -> KeyZeroized (source slot destroyed)
+  // -> Committed. Load-at-target strictly precedes zeroize-at-source.
+  MigrationBegun,
+  MigrationKeyZeroized,
+  MigrationCommitted,
 };
 
-inline constexpr unsigned kSecurityEventKinds = 12;
+inline constexpr unsigned kSecurityEventKinds = 15;
 
 std::string toString(SecurityEventKind k);
 

@@ -5,7 +5,17 @@
 // using the old key), and zeroizes slots when sessions close. Exercises
 // the lifecycle story around the paper's key scratchpad (Fig. 5) and
 // zeroization semantics.
+//
+// Migration between devices reuses this same audited lifecycle instead of
+// ad-hoc install code: exportForMigration() freezes a session and hands out
+// a generation-stamped ticket, importProvisioned() installs it on the
+// target manager under the next generation, and finishMigration() — which
+// demands proof of that exact generation — quiesces and zeroizes the
+// source. Load-at-target therefore strictly precedes zeroize-at-source,
+// and a stale ticket (wrong generation) can neither install nor release
+// the source key.
 
+#include <bitset>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -23,7 +33,18 @@ class KeyManager {
     unsigned slot = 0;
     unsigned cell_base = 0;
     std::vector<std::uint8_t> key;   // current session key (16 bytes)
-    std::uint64_t generation = 0;    // bumped by every rotation
+    std::uint64_t generation = 0;    // bumped by every rotation / migration
+    bool exporting = false;          // frozen by exportForMigration
+  };
+
+  // Generation-stamped key handoff between two KeyManagers (one per
+  // device). The ticket never carries device resources — the importer
+  // allocates its own slot and cells — only the key material and the
+  // lifecycle proof.
+  struct MigrationTicket {
+    unsigned user = 0;
+    std::vector<std::uint8_t> key;
+    std::uint64_t generation = 0;
   };
 
   KeyManager(accel::AesAccelerator& acc, std::uint64_t seed = 0x6b657930);
@@ -36,11 +57,28 @@ class KeyManager {
   // Installs a fresh key into the user's existing slot. Waits (ticking the
   // device) until no in-flight block references the slot; fails after
   // `max_wait_cycles`. Blocks submitted before the rotation complete under
-  // the old key; blocks submitted after use the new one.
+  // the old key; blocks submitted after use the new one. Refused while the
+  // session is frozen for export.
   bool rotate(unsigned user, unsigned max_wait_cycles = 256);
 
   // Zeroizes the slot and frees the resources.
   bool closeSession(unsigned user);
+
+  // --- Migration (export / import / finish) ---------------------------------
+  // Freeze the session and return its generation-stamped ticket. The source
+  // key stays installed and serving until finishMigration — load-at-target
+  // happens first, so the tenant is never keyless.
+  std::optional<MigrationTicket> exportForMigration(unsigned user);
+  // Install an exported ticket on THIS manager's device under the next
+  // generation. Refuses when the user already has a session here or the
+  // device refuses the load. Returns the new session.
+  std::optional<Session> importProvisioned(const MigrationTicket& ticket);
+  // Source-side commit: requires the generation the importer reports
+  // (ticket generation + 1) as proof that the key really is live at the
+  // target; then quiesces the slot, zeroizes it, and frees the resources.
+  // A wrong generation leaves the source session intact (and unfrozen, so
+  // the migration can be retried or abandoned).
+  bool finishMigration(unsigned user, std::uint64_t imported_generation);
 
   const Session* session(unsigned user) const;
   std::size_t activeSessions() const { return sessions_.size(); }
@@ -48,12 +86,17 @@ class KeyManager {
  private:
   std::vector<std::uint8_t> freshKey();
   bool install(Session& s);
+  bool quiesceAndRelease(Session& s);
 
   accel::AesAccelerator& acc_;
   Rng rng_;
   std::map<unsigned, Session> sessions_;  // by user
-  std::uint8_t slot_in_use_ = 0;          // bitmask over round-key slots
-  std::uint8_t cells_in_use_ = 0;         // bitmask over scratchpad cells
+  // Width-checked occupancy masks sized from the accelerator config: a
+  // bitset refuses an out-of-range slot index loudly instead of silently
+  // truncating the shift the way the old uint8_t masks would if the
+  // scratchpad or round-key RAM ever grew past 8 entries.
+  std::bitset<accel::kRoundKeySlots> slot_in_use_;
+  std::bitset<accel::kScratchpadCells> cells_in_use_;
 };
 
 }  // namespace aesifc::soc

@@ -52,7 +52,8 @@ std::string ServiceStats::toJson() const {
      << ",\"aead_admitted\":" << aead_admitted
      << ",\"aead_completed_hw\":" << aead_completed_hw
      << ",\"aead_completed_fallback\":" << aead_completed_fallback
-     << ",\"aead_auth_failed\":" << aead_auth_failed << "}";
+     << ",\"aead_auth_failed\":" << aead_auth_failed
+     << ",\"wrong_key_uses\":" << wrong_key_uses << "}";
   return os.str();
 }
 
@@ -78,6 +79,7 @@ ServiceStats& ServiceStats::operator+=(const ServiceStats& o) {
   aead_completed_hw += o.aead_completed_hw;
   aead_completed_fallback += o.aead_completed_fallback;
   aead_auth_failed += o.aead_auth_failed;
+  wrong_key_uses += o.wrong_key_uses;
   return *this;
 }
 
@@ -86,10 +88,18 @@ AccelService::AccelService(accel::AesAccelerator& acc, ServiceConfig cfg)
       window_start_cycle_{acc.cycle()} {}
 
 unsigned AccelService::addTenant(const TenantSpec& spec) {
-  if (!accel::loadKeyBytes(acc_, spec.user, spec.key_slot, spec.cell_base,
-                           spec.key, aes::KeySize::Aes128, spec.key_conf)) {
+  const auto t = tryAddTenant(spec);
+  if (!t.has_value()) {
     throw std::runtime_error("AccelService::addTenant: key provisioning for "
                              "user " + std::to_string(spec.user) + " refused");
+  }
+  return *t;
+}
+
+std::optional<unsigned> AccelService::tryAddTenant(const TenantSpec& spec) {
+  if (!accel::loadKeyBytes(acc_, spec.user, spec.key_slot, spec.cell_base,
+                           spec.key, aes::KeySize::Aes128, spec.key_conf)) {
+    return std::nullopt;
   }
   const unsigned t = static_cast<unsigned>(tenants_.size());
   tenants_.push_back(spec);
@@ -99,8 +109,28 @@ unsigned AccelService::addTenant(const TenantSpec& spec) {
   completions_.emplace_back();
   aead_queues_.emplace_back();
   aead_completions_.emplace_back();
+  tenant_active_.push_back(1);
   completed_per_tenant_.push_back(0);
   return t;
+}
+
+void AccelService::deactivateTenant(unsigned tenant) {
+  tenant_active_.at(tenant) = 0;
+}
+
+bool AccelService::drainTenant(unsigned tenant, std::uint64_t max_device_cycles) {
+  const std::uint64_t start = acc_.cycle();
+  while ((!queues_.at(tenant).empty() || !aead_queues_.at(tenant).empty()) &&
+         acc_.cycle() - start < max_device_cycles) {
+    pump();
+  }
+  return queues_.at(tenant).empty() && aead_queues_.at(tenant).empty();
+}
+
+void AccelService::forceQuarantine(const std::string& reason) {
+  monitor_.forceQuarantine(acc_.cycle(), reason);
+  logTransitions();
+  applyStateOptions();
 }
 
 std::size_t AccelService::totalQueued() const {
@@ -114,6 +144,12 @@ SubmitResult AccelService::submit(unsigned tenant, const aes::Block& data,
                                   bool decrypt) {
   ++stats_.offered;
   auto& q = queues_.at(tenant);
+
+  // A retired tenant's key is zeroized (or owned by another shard now);
+  // nothing may be queued behind it.
+  if (!tenant_active_.at(tenant)) {
+    return {false, 0, AdmitError::TenantRetired};
+  }
 
   // Global watermark first: when the whole service is saturated, shedding a
   // tenant's own queue would not relieve the pressure — push back on the
@@ -174,6 +210,9 @@ SubmitResult AccelService::submitAead(unsigned tenant, AeadRequest req) {
   ++stats_.offered;
   ++stats_.aead_offered;
   auto& q = aead_queues_.at(tenant);
+  if (!tenant_active_.at(tenant)) {
+    return {false, 0, AdmitError::TenantRetired};
+  }
   if (totalQueued() >= cfg_.global_high_watermark) {
     ++stats_.rejected_backpressure;
     return {false, 0, AdmitError::Backpressure};
@@ -266,6 +305,10 @@ void AccelService::applyStateOptions() {
 }
 
 bool AccelService::reprovisionKey(unsigned tenant) {
+  // Never resurrect a retired tenant's key: after migration the slot is
+  // zeroized on purpose, and re-installing it here would silently undo the
+  // handover's security argument.
+  if (!tenant_active_[tenant]) return false;
   const auto& spec = tenants_[tenant];
   if (!accel::loadKeyBytes(acc_, spec.user, spec.key_slot, spec.cell_base,
                            spec.key, aes::KeySize::Aes128, spec.key_conf)) {
@@ -445,6 +488,15 @@ void AccelService::serveAeadHardware(unsigned tenant, AeadRequest req) {
 }
 
 void AccelService::serveAead(unsigned tenant, AeadRequest req) {
+  if (!tenant_active_[tenant]) {
+    // A request surfaced for a retired tenant: executing it would use a
+    // stale or zeroized key. Refuse, and count the near-miss — the elastic
+    // pool's invariant is that this counter stays 0.
+    ++stats_.wrong_key_uses;
+    completeAead(tenant, req, CompletionStatus::Rejected, ServedBy::None, {},
+                 aes::Tag128{});
+    return;
+  }
   const HealthState st = monitor_.state();
   if (st == HealthState::Quarantined || st == HealthState::Probation) {
     serveAeadFallback(tenant, req);
@@ -454,6 +506,12 @@ void AccelService::serveAead(unsigned tenant, AeadRequest req) {
 }
 
 void AccelService::serveOne(unsigned tenant, Request req) {
+  if (!tenant_active_[tenant]) {
+    ++stats_.wrong_key_uses;
+    complete(tenant, req, CompletionStatus::Rejected, ServedBy::None,
+             aes::Block{});
+    return;
+  }
   const HealthState st = monitor_.state();
   if (st == HealthState::Quarantined || st == HealthState::Probation) {
     serveFallback(tenant, req);
@@ -509,8 +567,8 @@ unsigned AccelService::serveRun(unsigned tenant, unsigned max_run) {
   auto& q = queues_[tenant];
   if (q.empty()) return 0;
   const HealthState st = monitor_.state();
-  const bool hw_path =
-      st == HealthState::Healthy || st == HealthState::Degraded;
+  const bool hw_path = tenant_active_[tenant] &&
+      (st == HealthState::Healthy || st == HealthState::Degraded);
   unsigned run_len = 1;
   if (hw_path && cfg_.batch_size > 1) {
     const bool dir = q.front().decrypt;
@@ -573,6 +631,9 @@ void AccelService::runCanaries() {
   ++stats_.canary_rounds;
   bool all_ok = !tenants_.empty();
   for (unsigned t = 0; t < tenants_.size(); ++t) {
+    // Retired tenants have no key on this shard (zeroized at migration);
+    // probing them would re-provision a key that must stay gone.
+    if (!tenant_active_[t]) continue;
     const auto& spec = tenants_[t];
     // Fail-secure zeroization may have destroyed the slot while the device
     // was sick; a canary round re-provisions before probing.

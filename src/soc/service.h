@@ -139,7 +139,7 @@ struct AeadCompletion {
 };
 
 // Why an offered block was not queued.
-enum class AdmitError { QueueFull, Backpressure };
+enum class AdmitError { QueueFull, Backpressure, TenantRetired };
 
 struct SubmitResult {
   bool admitted = false;
@@ -173,6 +173,12 @@ struct ServiceStats {
   std::uint64_t aead_completed_hw = 0;
   std::uint64_t aead_completed_fallback = 0;
   std::uint64_t aead_auth_failed = 0;  // tag-mismatch verdicts (not health)
+  // Requests that reached a serve path for a retired (migrated-away)
+  // tenant — i.e. would have executed under a stale or zeroized key had the
+  // guard not refused them. The elastic pool's core safety invariant is
+  // that this stays 0: migration drains and deactivates before it zeroizes,
+  // so no request ever spans the key handover.
+  std::uint64_t wrong_key_uses = 0;
 
   std::string toJson() const;
 
@@ -188,6 +194,34 @@ class AccelService {
   // legitimate setup step must not fail silently) and registers its queue.
   // Returns the tenant index used by submit()/fetch().
   unsigned addTenant(const TenantSpec& spec);
+
+  // Non-throwing variant for callers that can degrade gracefully (the
+  // elastic pool's migration path: a refused provisioning at the target
+  // must leave the source untouched, not unwind the stack). Returns the
+  // tenant index, or nullopt when the device refuses the key load.
+  std::optional<unsigned> tryAddTenant(const TenantSpec& spec);
+
+  // Retire a tenant: future submits are refused (AdmitError::TenantRetired)
+  // and any request that still reaches a serve path is refused and counted
+  // in stats().wrong_key_uses instead of executing under a key that is
+  // about to be (or already is) zeroized. Queued work should be drained
+  // first; already-delivered completions remain fetchable.
+  void deactivateTenant(unsigned tenant);
+  bool tenantActive(unsigned tenant) const {
+    return tenant_active_.at(tenant) != 0;
+  }
+  const TenantSpec& tenantSpec(unsigned tenant) const {
+    return tenants_.at(tenant);
+  }
+
+  // Pump until this tenant's queues are empty or the cycle budget is spent.
+  // Returns true when the tenant is fully drained (the migration barrier).
+  bool drainTenant(unsigned tenant, std::uint64_t max_device_cycles);
+
+  // Hard breaker trip from outside the error-budget window (the pool-level
+  // fault campaign and the supervisor's tests use this to model an incident
+  // the window would take several samples to see).
+  void forceQuarantine(const std::string& reason);
 
   // Offer one block. Admission control may refuse it (result.admitted ==
   // false) or, under ShedOldest, evict the tenant's oldest queued request
@@ -293,6 +327,7 @@ class AccelService {
   std::vector<std::deque<Completion>> completions_;
   std::vector<std::deque<AeadRequest>> aead_queues_;
   std::vector<std::deque<AeadCompletion>> aead_completions_;
+  std::vector<char> tenant_active_;  // 0 after deactivateTenant
   std::vector<std::uint64_t> completed_per_tenant_;
   ServiceStats stats_;
   std::uint64_t next_ticket_ = 1;

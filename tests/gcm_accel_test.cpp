@@ -473,7 +473,9 @@ TEST(GcmPool, AeadRoundTripsAcrossShards) {
     spec.category = i + 1;
     spec.key = std::vector<std::uint8_t>(16);
     for (auto& b : spec.key) b = static_cast<std::uint8_t>(rng.next());
-    ids.push_back(pool.addTenant(spec));
+    const PlaceResult placed = pool.addTenant(spec);
+    ASSERT_TRUE(placed.placed);
+    ids.push_back(placed.tenant);
   }
   std::vector<std::vector<std::uint8_t>> pts, ivs;
   std::vector<aes::ExpandedKey> keys;

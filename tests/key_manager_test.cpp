@@ -156,5 +156,94 @@ TEST_F(KmFixture, ContinuousTrafficAcrossRotations) {
   EXPECT_EQ(km.session(alice)->generation, 6u);
 }
 
+// --- Migration: export / import / finish -------------------------------------
+
+// Cross-device fixture: one KeyManager per accelerator, as the elastic pool
+// has one per shard.
+struct KmMigrateFixture : ::testing::Test {
+  AesAccelerator src_acc{AcceleratorConfig{}};
+  AesAccelerator dst_acc{AcceleratorConfig{}};
+  unsigned src_sup = src_acc.addUser(Principal::supervisor());
+  unsigned dst_sup = dst_acc.addUser(Principal::supervisor());
+  unsigned src_alice = src_acc.addUser(Principal::user("alice", 1));
+  unsigned dst_alice = dst_acc.addUser(Principal::user("alice", 1));
+  KeyManager src_km{src_acc, 0x5eed5eed};
+  KeyManager dst_km{dst_acc, 0xfeedfeed};
+};
+
+TEST_F(KmMigrateFixture, ExportImportFinishMovesKeyWithGenerationProof) {
+  const auto s = *src_km.openSession(src_alice);
+  ASSERT_EQ(s.generation, 1u);
+
+  const auto ticket = src_km.exportForMigration(src_alice);
+  ASSERT_TRUE(ticket.has_value());
+  EXPECT_EQ(ticket->generation, 1u);
+  EXPECT_EQ(ticket->key, s.key);
+  // Export freezes the session: rotation is refused while a ticket is out,
+  // so the ticket's generation proof cannot be invalidated underneath it.
+  EXPECT_FALSE(src_km.rotate(src_alice));
+  // But the source key stays installed and serving (load-before-zeroize).
+  EXPECT_TRUE(src_acc.roundKeys().valid(s.slot));
+
+  const auto imported = dst_km.importProvisioned(*ticket);
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_EQ(imported->generation, 2u);  // ticket generation + 1
+  EXPECT_EQ(imported->key, s.key);      // same key material, new device
+  EXPECT_TRUE(dst_acc.roundKeys().valid(imported->slot));
+
+  // Source commit requires the importer's exact generation as proof.
+  ASSERT_TRUE(src_km.finishMigration(src_alice, imported->generation));
+  EXPECT_EQ(src_km.session(src_alice), nullptr);
+  EXPECT_FALSE(src_acc.roundKeys().valid(s.slot));          // zeroized
+  EXPECT_EQ(src_acc.scratchpad().rawCell(s.cell_base), 0u);  // scrubbed
+}
+
+TEST_F(KmMigrateFixture, WrongGenerationProofNeitherInstallsNorReleases) {
+  const auto s = *src_km.openSession(src_alice);
+  const auto ticket = *src_km.exportForMigration(src_alice);
+
+  // A stale proof (wrong generation) is refused and the source session
+  // survives — unfrozen, so it can rotate or retry.
+  EXPECT_FALSE(src_km.finishMigration(src_alice, ticket.generation + 7));
+  ASSERT_NE(src_km.session(src_alice), nullptr);
+  EXPECT_TRUE(src_acc.roundKeys().valid(s.slot));
+  EXPECT_TRUE(src_km.rotate(src_alice));  // unfrozen after the refusal
+
+  // The rotation bumped the generation, so the OLD ticket's proof chain is
+  // dead: finish with its would-be imported generation is still refused.
+  EXPECT_FALSE(src_km.finishMigration(src_alice, ticket.generation + 1));
+  ASSERT_NE(src_km.session(src_alice), nullptr);
+}
+
+TEST_F(KmMigrateFixture, ImportRefusalsLeaveTargetClean) {
+  // Corrupt ticket (wrong key size) is refused outright.
+  KeyManager::MigrationTicket bad;
+  bad.user = dst_alice;
+  bad.key.assign(7, 0xaa);
+  bad.generation = 1;
+  EXPECT_FALSE(dst_km.importProvisioned(bad).has_value());
+  EXPECT_EQ(dst_km.activeSessions(), 0u);
+
+  // A user that already holds a session on the target cannot be imported
+  // over it.
+  ASSERT_TRUE(dst_km.openSession(dst_alice).has_value());
+  KeyManager::MigrationTicket dup;
+  dup.user = dst_alice;
+  dup.key.assign(16, 0xbb);
+  dup.generation = 3;
+  EXPECT_FALSE(dst_km.importProvisioned(dup).has_value());
+  EXPECT_EQ(dst_km.activeSessions(), 1u);
+}
+
+TEST_F(KmMigrateFixture, ExportIsIdempotentUntilFinished) {
+  ASSERT_TRUE(src_km.openSession(src_alice).has_value());
+  const auto t1 = src_km.exportForMigration(src_alice);
+  const auto t2 = src_km.exportForMigration(src_alice);
+  ASSERT_TRUE(t1 && t2);
+  EXPECT_EQ(t1->generation, t2->generation);
+  EXPECT_EQ(t1->key, t2->key);
+  EXPECT_FALSE(src_km.exportForMigration(99).has_value());  // no session
+}
+
 }  // namespace
 }  // namespace aesifc::soc

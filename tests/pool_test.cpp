@@ -48,7 +48,9 @@ unsigned addTenantN(EnginePool& pool, unsigned n) {
   spec.category = n + 1;
   spec.key = keyOf(n);
   spec.queue_depth = 64;
-  return pool.addTenant(spec);
+  const PlaceResult r = pool.addTenant(spec);
+  EXPECT_TRUE(r.placed);
+  return r.tenant;
 }
 
 TEST(PoolPlacement, StickyDeterministicAndSpillBounded) {
@@ -72,15 +74,23 @@ TEST(PoolPlacement, StickyDeterministicAndSpillBounded) {
   EXPECT_LE(static_cast<double>(mx), 2.0 * static_cast<double>(mn + 1));
 }
 
-TEST(PoolPlacement, CapacityIsSevenTenantsPerShardThenThrows) {
+TEST(PoolPlacement, CapacityIsSevenTenantsPerShardThenTypedRejection) {
   EnginePool pool{poolConfig(2, 1)};
   const std::size_t cap =
       2 * (accel::kRoundKeySlots - 1);  // slot 0 reserved per shard
   for (unsigned t = 0; t < cap; ++t) addTenantN(pool, t);
   EXPECT_LE(pool.tenantsOn(0), accel::kRoundKeySlots - 1);
   EXPECT_LE(pool.tenantsOn(1), accel::kRoundKeySlots - 1);
-  EXPECT_THROW(addTenantN(pool, static_cast<unsigned>(cap)),
-               std::runtime_error);
+  // A full pool is a typed verdict, not an exception — a gateway can shed
+  // the tenant gracefully.
+  PoolTenantSpec spec;
+  spec.name = "tenant-overflow";
+  spec.category = 15;
+  spec.key = keyOf(static_cast<unsigned>(cap));
+  const PlaceResult r = pool.addTenant(spec);
+  EXPECT_FALSE(r.placed);
+  EXPECT_EQ(r.error, PlaceError::PoolFull);
+  EXPECT_EQ(pool.tenants(), cap);  // nothing half-placed
 }
 
 TEST(PoolBatch, BatchedResultsMatchGoldenAesInSubmissionOrder) {

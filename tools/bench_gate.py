@@ -75,6 +75,14 @@ def main():
     ap.add_argument("--metric", default="blocks_per_device_cycle")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="max relative deviation from snapshot (default 0.25)")
+    ap.add_argument("--assert-zero", default="",
+                    help="comma-separated fields that must equal 0 in every "
+                         "fresh record (hard invariants, e.g. wrong_key_uses)")
+    ap.add_argument("--assert-ge", action="append", default=[],
+                    help="METRIC:FLOOR_FIELD — every fresh record must have "
+                         "record[METRIC] >= record[FLOOR_FIELD] (e.g. "
+                         "aggregate_availability:availability_floor); "
+                         "repeatable")
     args = ap.parse_args()
     keys = [k.strip() for k in args.keys.split(",") if k.strip()]
     if not keys:
@@ -118,6 +126,42 @@ def main():
             failures += 1
         print(f"  {label}  snapshot={want:<10g} fresh={got:<10g} "
               f"delta={delta:+.1%}  {verdict}")
+
+    # Hard invariants on the FRESH records: tolerance bands are for
+    # throughput drift, not for safety counters — those must be exact.
+    zero_fields = [z.strip() for z in args.assert_zero.split(",") if z.strip()]
+    ge_pairs = []
+    for spec in args.assert_ge:
+        parts = spec.split(":")
+        if len(parts) != 2 or not parts[0] or not parts[1]:
+            print(f"bench_gate: bad --assert-ge spec '{spec}' "
+                  "(want METRIC:FLOOR_FIELD)", file=sys.stderr)
+            return 2
+        ge_pairs.append((parts[0], parts[1]))
+    for f in fresh:
+        label = str(key_of(f, keys)).ljust(width)
+        for z in zero_fields:
+            v = f.get(z)
+            if v != 0:
+                print(f"  {label}  INVARIANT {z}={v} (must be 0)")
+                failures += 1
+            else:
+                print(f"  {label}  invariant {z}=0  ok")
+        for metric, floor_field in ge_pairs:
+            got = f.get(metric)
+            floor = f.get(floor_field)
+            if not isinstance(got, (int, float)) or not isinstance(
+                    floor, (int, float)):
+                print(f"  {label}  INVARIANT missing field for "
+                      f"{metric}>={floor_field}")
+                failures += 1
+            elif got < floor:
+                print(f"  {label}  INVARIANT {metric}={got:g} < "
+                      f"{floor_field}={floor:g}")
+                failures += 1
+            else:
+                print(f"  {label}  invariant {metric}={got:g} >= "
+                      f"{floor_field}={floor:g}  ok")
 
     extra = [k for k in fresh_by_key if k not in
              {key_of(s, keys) for s in snap}]
