@@ -1,0 +1,151 @@
+// Descriptor-ring DMA walkthrough: program a scatter-gather chain the way
+// a kernel driver programs a cesa/marvell-style ring — write descriptors
+// into tagged host memory, hand them to the device with an ownership bit,
+// ring the doorbell, and harvest completion records — then sabotage the
+// ring mid-flight (a torn ownership handoff and a stalled receiver) and
+// watch the engine refuse, fire its watchdog, and recover, narrating from
+// the accelerator's security event ring.
+//
+// Build & run:  ./build/examples/dma_ring
+
+#include <cstdio>
+
+#include "accel/accelerator.h"
+#include "accel/driver.h"
+#include "aes/modes.h"
+#include "common/rng.h"
+#include "soc/dma.h"
+
+using namespace aesifc;
+using namespace aesifc::soc;
+using accel::AesAccelerator;
+
+namespace {
+
+std::size_t shown = 0;
+
+void drainEvents(const AesAccelerator& acc) {
+  const auto& ev = acc.events();
+  for (; shown < ev.size(); ++shown) {
+    std::printf("    event ring: %s\n", ev[shown].toString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  accel::AcceleratorConfig cfg;
+  cfg.mode = accel::SecurityMode::Protected;
+  AesAccelerator acc{cfg};
+  const unsigned alice = acc.addUser(lattice::Principal::user("alice", 1));
+
+  Rng rng{0x00d};
+  std::vector<std::uint8_t> key(16);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+  accel::loadKey128(acc, alice, 1, 0, key, acc.principal(alice).authority.c);
+
+  std::printf("Step 1: lay out rings and buffers in tagged host memory\n");
+  HostMemory mem{64 * 1024};
+  mem.setPageLabel(0, 0x3000, acc.principal(alice).authority);
+  std::printf(
+      "  descriptor ring  8 x %u B @ 0x0000   (label: alice)\n"
+      "  chain arena     16 x %u B @ 0x0400\n"
+      "  completion ring  8 x %u B @ 0x0800\n"
+      "  src buffer               @ 0x1000, dst @ 0x2000\n",
+      kDescBytes, kDescBytes, kCompBytes);
+
+  DmaRingEngine eng{acc, mem, /*hardened=*/true};
+  DmaRingConfig rc;
+  rc.desc_base = 0x0000;
+  rc.desc_slots = 8;
+  rc.chain_base = 0x400;
+  rc.chain_slots = 16;
+  rc.comp_base = 0x800;
+  rc.comp_slots = 8;
+  rc.watchdog_cycles = 256;
+  const unsigned ch = eng.addChannel(rc);
+  DmaRingDriver drv{eng, mem, ch, rc};
+
+  std::printf("\nStep 2: publish a 3-segment scatter-gather chain\n");
+  std::vector<std::uint8_t> msg(480);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+  mem.writeBytes(0x1000, msg);
+  DmaDescriptor seg;
+  seg.user = alice;
+  seg.key_slot = 1;
+  seg.mode = DmaMode::EcbEncrypt;
+  std::vector<DmaDescriptor> chain;
+  for (unsigned s = 0; s < 3; ++s) {
+    DmaDescriptor d = seg;
+    d.src = 0x1000 + s * 160;
+    d.dst = 0x2000 + s * 160;
+    d.len = 160;
+    chain.push_back(d);
+  }
+  const auto seq1 = drv.submitChain(chain);
+  std::printf(
+      "  head descriptor at slot 0 (OWNED set last: the release store),\n"
+      "  continuations in the chain arena, doorbell rung -> seq %u\n", *seq1);
+  const auto* c1 = drv.wait(*seq1, 8192);
+  std::printf("  completion: status=%s blocks=%llu exec_cycles=%u\n",
+              toString(c1->status).c_str(),
+              static_cast<unsigned long long>(c1->blocks), c1->exec_cycles);
+  const auto ek = aes::expandKey(key, aes::KeySize::Aes128);
+  std::printf("  dst == software ECB? %s\n",
+              mem.readBytes(0x2000, msg.size()) == aes::ecbEncrypt(msg, ek)
+                  ? "yes"
+                  : "NO");
+
+  std::printf(
+      "\nStep 3: torn ownership — reclaim the descriptor mid-execution\n");
+  const auto seq2 = drv.submitChain(
+      {[&] { DmaDescriptor d = seg; d.src = 0x1000; d.dst = 0x2800;
+             d.len = 480; return d; }()});
+  // This transfer sits in ring slot 1 (the ring advanced past Step 2's).
+  const std::size_t live_desc = rc.desc_base + eng.headSlot(ch) * kDescBytes;
+  for (unsigned i = 0; i < 4; ++i) eng.tick();  // engine latched the head
+  std::printf("  host clears OWNED while %u blocks are in flight...\n", 30u);
+  mem.write32(live_desc,
+              static_cast<std::uint32_t>(eng.generation(ch)) << 16);
+  const auto* c2 = drv.wait(*seq2, 8192);
+  std::printf("  completion: status=%s (fail-secure: dst untouched)\n",
+              toString(c2->status).c_str());
+  drainEvents(acc);
+
+  std::printf(
+      "\nStep 4: stalled ring — the output receiver wedges, the watchdog\n"
+      "fires, the engine quiesces, resyncs, and resubmits idempotently\n");
+  acc.setReceiverReady(alice, false);
+  const auto seq3 = drv.submitChain(
+      {[&] { DmaDescriptor d = seg; d.src = 0x1000; d.dst = 0x2800;
+             d.len = 480; return d; }()});
+  for (unsigned i = 0; i < 2 * rc.watchdog_cycles + 64; ++i) eng.tick();
+  std::printf("  ...%llu watchdog fires while the receiver is wedged\n",
+              static_cast<unsigned long long>(eng.stats().watchdog_fires));
+  acc.setReceiverReady(alice, true);
+  const auto* c3 = drv.wait(*seq3, 1u << 16);
+  std::printf(
+      "  receiver released: status=%s blocks=%llu, recoveries=%llu,\n"
+      "  completions delivered exactly once (duplicates: %llu)\n",
+      toString(c3->status).c_str(),
+      static_cast<unsigned long long>(c3->blocks),
+      static_cast<unsigned long long>(eng.stats().recoveries),
+      static_cast<unsigned long long>(drv.duplicateCompletions()));
+  drainEvents(acc);
+
+  const auto& st = eng.stats();
+  std::printf(
+      "\nRing lifetime counters: %llu descriptors fetched, %llu ok,\n"
+      "%llu refused, %llu torn-ownership, %llu watchdog fires, %llu\n"
+      "recoveries, cross-label writes: %llu (the hardened engine keeps\n"
+      "this 0 by construction: labels are re-checked at the point of use\n"
+      "against latched addresses, never against re-read ring memory)\n",
+      static_cast<unsigned long long>(st.descriptors_fetched),
+      static_cast<unsigned long long>(st.completed_ok),
+      static_cast<unsigned long long>(st.refused),
+      static_cast<unsigned long long>(st.torn_ownership),
+      static_cast<unsigned long long>(st.watchdog_fires),
+      static_cast<unsigned long long>(st.recoveries),
+      static_cast<unsigned long long>(st.cross_label_writes));
+  return 0;
+}

@@ -64,6 +64,9 @@ class AesAccelerator {
   // registered like any other user (with Principal::supervisor()).
   unsigned addUser(Principal p);
   const Principal& principal(unsigned user) const;
+  // Number of registered principals (descriptor validation bound: a DMA
+  // descriptor naming a user id at or past this count is malformed).
+  unsigned userCount() const { return static_cast<unsigned>(users_.size()); }
 
   // --- Key path (Fig. 5) ----------------------------------------------------
   // Arbiter-side cell allocation: retags `count` cells at `base` with the

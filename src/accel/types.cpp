@@ -25,6 +25,8 @@ std::string toString(SecurityEventKind k) {
     case SecurityEventKind::MigrationKeyZeroized:
       return "migration-key-zeroized";
     case SecurityEventKind::MigrationCommitted: return "migration-committed";
+    case SecurityEventKind::DmaRingViolation: return "dma-ring-violation";
+    case SecurityEventKind::DmaRingRecovery: return "dma-ring-recovery";
   }
   return "?";
 }
@@ -45,6 +47,8 @@ std::string toString(FaultSite s) {
     case FaultSite::HostDuplicate: return "host-duplicate";
     case FaultSite::HostStuckReceiver: return "host-stuck-receiver";
     case FaultSite::HostSpuriousSubmit: return "host-spurious-submit";
+    case FaultSite::RingDescriptor: return "ring-descriptor";
+    case FaultSite::RingCompletion: return "ring-completion";
   }
   return "?";
 }

@@ -44,9 +44,15 @@ enum class SecurityEventKind {
   MigrationBegun,
   MigrationKeyZeroized,
   MigrationCommitted,
+  // Tagged DMA descriptor-ring path (soc::DmaRingEngine). The ring lives in
+  // untrusted host memory, so refusals (malformed/corrupted descriptors,
+  // label denials, torn ownership) and recoveries (watchdog quiesce ->
+  // resync -> resubmit, ring resets) are first-class security events.
+  DmaRingViolation,
+  DmaRingRecovery,
 };
 
-inline constexpr unsigned kSecurityEventKinds = 15;
+inline constexpr unsigned kSecurityEventKinds = 17;
 
 std::string toString(SecurityEventKind k);
 
@@ -67,10 +73,12 @@ enum class FaultSite {
   HostDuplicate, // response replayed on the host interface
   HostStuckReceiver,   // receiver-ready deasserted and held
   HostSpuriousSubmit,  // garbage request injected at the submit port
+  RingDescriptor,      // bit flip in a DMA descriptor-ring slot (host memory)
+  RingCompletion,      // bit flip in a DMA completion-ring slot (host memory)
 };
 
 inline constexpr unsigned kHwFaultSites = 10;   // first 10 enumerators
-inline constexpr unsigned kHostFaultSites = 4;  // the remaining host sites
+inline constexpr unsigned kHostFaultSites = 6;  // the remaining host sites
 
 std::string toString(FaultSite s);
 

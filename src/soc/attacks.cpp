@@ -1,14 +1,17 @@
 #include "soc/attacks.h"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 #include "accel/accelerator.h"
 #include "aes/cipher.h"
+#include "aes/key_schedule.h"
 #include "aes/modes.h"
 #include "aes/sbox.h"
 #include "common/rng.h"
 #include "soc/dma.h"
+#include "soc/fault_injector.h"
 
 namespace aesifc::soc {
 
@@ -462,7 +465,7 @@ DmaTheftResult runDmaTheftAttack(SecurityMode mode) {
   theft.dst = eve_dst;
   theft.len = len;
   const auto tr = dma.run(theft);
-  r.src_read_blocked = !tr.ok && tr.error == "src-page-denied";
+  r.src_read_blocked = !tr.ok && tr.error == DmaError::SrcPageDenied;
   if (tr.ok) {
     const auto ek = aes::expandKey(bench.eve_key, aes::KeySize::Aes128);
     r.alice_plaintext_stolen =
@@ -474,9 +477,289 @@ DmaTheftResult runDmaTheftAttack(SecurityMode mode) {
   scribble.src = eve_dst;
   scribble.dst = alice_dst;
   const auto sr = dma.run(scribble);
-  r.dst_write_blocked = !sr.ok && sr.error == "dst-page-denied";
+  r.dst_write_blocked = !sr.ok && sr.error == DmaError::DstPageDenied;
 
   return r;
+}
+
+// --- DMA descriptor-ring fault campaign ------------------------------------------
+
+namespace {
+
+// Rewrite one little-endian u64 field of a published ring descriptor and
+// re-seal its checksum — the adversary who can write ring memory can of
+// course keep the checksum consistent; the engine's structural validation
+// and latching must not depend on checksums alone.
+void rewriteDescField(HostMemory& mem, std::size_t desc_addr, unsigned offset,
+                      std::uint64_t value) {
+  mem.write64(desc_addr + offset, value);
+  mem.write32(desc_addr + 4, ringChecksum(mem, desc_addr + 8, kDescBytes - 8));
+}
+
+}  // namespace
+
+RingCampaignReport runRingFaultCampaign(const RingCampaignConfig& cfg) {
+  Bench bench{SecurityMode::Protected};
+  auto& acc = bench.acc;
+  RingCampaignReport rep;
+  Rng rng{cfg.seed * 0x9e3779b97f4a7c15ull + 1};
+
+  HostMemory mem{256 * 1024};
+  DmaRingEngine eng{acc, mem, cfg.hardened};
+
+  DmaRingConfig ring;
+  ring.desc_base = 0x0000;
+  ring.desc_slots = 16;
+  ring.chain_base = 0x0400;
+  ring.chain_slots = 32;
+  ring.comp_base = 0x0c00;
+  ring.comp_slots = 8;  // small on purpose: overflow scenarios must bite
+  ring.watchdog_cycles = cfg.watchdog_cycles;
+  const unsigned ch = eng.addChannel(ring);
+  DmaRingDriver drv{eng, mem, ch, ring};
+
+  // Ring and data pages belong to alice; a victim region belongs to eve.
+  const lattice::Label alice_l = acc.principal(bench.alice).authority;
+  const lattice::Label eve_l = acc.principal(bench.eve).authority;
+  mem.setPageLabel(0x0000, 0x1000, alice_l);          // rings + arena
+  const std::size_t src_base = 0x2000, dst_base = 0x8000;
+  mem.setPageLabel(src_base, 0x4000, alice_l);
+  mem.setPageLabel(dst_base, 0x4000, alice_l);
+  const std::size_t victim_base = 0x10000, victim_len = 0x1000;
+  mem.setPageLabel(victim_base, victim_len, eve_l);
+  for (std::size_t i = 0; i < victim_len; ++i)
+    mem.write8(victim_base + i, static_cast<std::uint8_t>(0xE5 ^ (i * 7)));
+  std::vector<std::uint8_t> victim_snap = mem.readBytes(victim_base, victim_len);
+
+  // Random ring/host faults land through the injector between clock edges.
+  FaultCampaignConfig fcfg;
+  fcfg.seed = cfg.seed;
+  fcfg.fault_rate = cfg.fault_rate;
+  fcfg.hw_faults = false;  // this campaign is about the ring, not the core
+  fcfg.host_faults = true;
+  FaultInjector inj{acc, fcfg, {bench.alice}};
+  inj.attachRingMemory(
+      &mem,
+      {{ring.desc_base, ring.desc_slots, kDescBytes},
+       {ring.chain_base, ring.chain_slots, kDescBytes}},
+      {{ring.comp_base, ring.comp_slots, kCompBytes}});
+  acc.setTickHook([&] { inj.tick(); });
+
+  const auto ek = aes::expandKey(bench.alice_key, aes::KeySize::Aes128);
+  const std::uint64_t budget =
+      16 * cfg.watchdog_cycles + 4096;  // per-transfer cycle budget
+
+  for (unsigned i = 0; i < cfg.descriptors; ++i) {
+    ++rep.descriptors;
+    const unsigned scenario =
+        cfg.scripted_scenarios ? i % 7 : 7;  // 7 = plain transfer
+
+    // Build one transfer: fresh random payload, ECB or CTR, sometimes
+    // scatter-gathered across 2-3 segments.
+    const std::size_t len = 16 * (1 + rng.below(24));
+    const std::size_t src = src_base + (i % 16) * 0x200;
+    const std::size_t dst = dst_base + (i % 16) * 0x200;
+    std::vector<std::uint8_t> payload(len);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
+    mem.writeBytes(src, payload);
+
+    DmaDescriptor head;
+    head.user = bench.alice;
+    head.key_slot = 1;
+    head.mode = (i % 2 == 0) ? DmaMode::EcbEncrypt : DmaMode::CtrCrypt;
+    for (auto& b : head.ctr_iv) b = static_cast<std::uint8_t>(rng.next());
+
+    std::vector<std::uint8_t> golden;
+    if (head.mode == DmaMode::EcbEncrypt) {
+      golden = aes::ecbEncrypt(payload, ek);
+    } else {
+      aes::Iv nonce{};
+      std::copy(head.ctr_iv.begin(), head.ctr_iv.end(), nonce.begin());
+      golden = aes::ctrCrypt(payload, ek, nonce);
+    }
+    const std::vector<std::uint8_t> dst_before = mem.readBytes(dst, len);
+
+    // Split into segments (chains exercise the next-pointer path).
+    std::vector<DmaDescriptor> segs;
+    const unsigned nseg = 1 + static_cast<unsigned>(rng.below(3));
+    std::size_t off = 0;
+    for (unsigned s = 0; s < nseg && off < len; ++s) {
+      DmaDescriptor seg = head;
+      seg.src = src + off;
+      seg.dst = dst + off;
+      const std::size_t remain = len - off;
+      std::size_t take = (s + 1 == nseg)
+                             ? remain
+                             : 16 * (1 + rng.below(remain / 16));
+      take = std::min(take, remain);
+      seg.len = take;
+      segs.push_back(seg);
+      off += take;
+    }
+
+    const auto seq = drv.submitChain(segs);
+    if (!seq) {  // ring backpressure: drain a little and retry once
+      for (unsigned t = 0; t < 256; ++t) eng.tick();
+      drv.poll();
+      if (!drv.submitChain(segs)) {
+        ++rep.unresolved;
+        continue;
+      }
+    }
+
+    // Scripted adversarial interleave.
+    const std::size_t head_addr =
+        ring.desc_base +
+        ((eng.headSlot(ch)) % ring.desc_slots) * kDescBytes;
+    bool stalled_receiver = false;
+    std::uint64_t release_at = 0;
+    switch (scenario) {
+      case 1: {  // chain loop: continuation points at itself
+        if (segs.size() > 1) {
+          // Re-read the published next-pointer; a ring fault may already
+          // have corrupted it, so only follow it if it still lands in the
+          // chain arena (the adversary writes ring memory, not random RAM).
+          const std::uint64_t cont = mem.read64(head_addr + 40);
+          const std::uint64_t arena_end =
+              ring.chain_base + ring.chain_slots * kDescBytes;
+          if (cont >= ring.chain_base && cont + kDescBytes <= arena_end)
+            rewriteDescField(mem, cont, 40, cont);
+        }
+        break;
+      }
+      case 2:  // OOB next-pointer: head chains into the completion ring
+        rewriteDescField(mem, head_addr, 40, ring.comp_base);
+        break;
+      case 3:  // completion overflow: host stops consuming completions
+        drv.setAutoPoll(false);
+        break;
+      case 4:  // stalled ring: receiver wedged past the watchdog
+        acc.setReceiverReady(bench.alice, false);
+        stalled_receiver = true;
+        release_at = cfg.watchdog_cycles + 64;
+        break;
+      default: break;
+    }
+
+    std::uint64_t waited = 0;
+    bool torn_done = false, toctou_done = false, reset_done = false;
+    while (!drv.done(*seq) && waited < budget) {
+      eng.tick();
+      ++waited;
+      if (stalled_receiver && waited == release_at) {
+        acc.setReceiverReady(bench.alice, true);
+        inj.releaseStuckReceivers();
+        stalled_receiver = false;
+      }
+      if (scenario == 0 && !torn_done && waited == 8) {
+        // Torn ownership: the host reclaims the descriptor mid-flight.
+        mem.write32(head_addr,
+                    static_cast<std::uint32_t>(eng.generation(ch)) << 16);
+        torn_done = true;
+      }
+      if (scenario == 6 && !toctou_done && waited == 8) {
+        // TOCTOU: redirect the head's destination into eve's pages after
+        // the engine has (or should have) latched it.
+        rewriteDescField(mem, head_addr, 24, victim_base);
+        toctou_done = true;
+      }
+      if (scenario == 5 && !reset_done && waited == 4) {
+        // Ring reset under a published descriptor: everything in flight is
+        // abandoned and pre-reset descriptors turn stale.
+        eng.ringReset(ch);
+        drv.resync();
+        reset_done = true;
+      }
+      if (scenario == 3 && waited == cfg.watchdog_cycles + 256) {
+        drv.setAutoPoll(true);  // host resumes; parked completion lands
+        drv.poll();
+      }
+    }
+    if (stalled_receiver) {
+      acc.setReceiverReady(bench.alice, true);
+      inj.releaseStuckReceivers();
+    }
+    drv.setAutoPoll(true);
+    drv.poll();
+
+    const DmaCompletion* comp = drv.result(*seq);
+    if (comp == nullptr) {
+      ++rep.unresolved;
+      // A wedged ring (e.g. a fault cleared OWNED before the fetch) is
+      // recovered the blunt way: quiesce everything and start a fresh
+      // generation, exactly what a driver's error path would do.
+      eng.ringReset(ch);
+      drv.resync();
+    } else if (comp->status == DmaError::None) {
+      ++rep.completed_ok;
+      if (mem.readBytes(dst, len) != golden) ++rep.wrong_plaintext_releases;
+    } else {
+      ++rep.refused;
+      // Fail-secure: a refused transfer must not have moved its
+      // destination (scenario 6 aside — there the write went elsewhere,
+      // which the victim-page oracle below catches).
+      if (scenario != 6 && mem.readBytes(dst, len) != dst_before)
+        ++rep.partial_writes;
+    }
+
+    // Cross-label oracle: any byte of eve's pages changed?
+    const auto victim_now = mem.readBytes(victim_base, victim_len);
+    if (victim_now != victim_snap) {
+      ++rep.cross_label_writes;
+      for (std::size_t b = 0; b < victim_len; ++b)  // restore + re-arm
+        mem.write8(victim_base + b, victim_snap[b]);
+    }
+  }
+
+  acc.setTickHook(nullptr);
+  const DmaRingStats& rs = eng.stats();
+  rep.ring = rs;
+  rep.watchdog_fires = rs.watchdog_fires;
+  rep.recoveries = rs.recoveries;
+  rep.ring_resets = rs.ring_resets;
+  rep.cross_label_writes += rs.cross_label_writes;
+  rep.corrupt_completions = drv.corruptCompletions();
+  rep.duplicate_completions = drv.duplicateCompletions();
+  const auto frep = inj.report();
+  rep.ring_faults = frep.host_ring_desc + frep.host_ring_comp;
+  return rep;
+}
+
+std::string RingCampaignReport::toJson() const {
+  std::ostringstream os;
+  os << "{\"descriptors\":" << descriptors
+     << ",\"completed_ok\":" << completed_ok << ",\"refused\":" << refused
+     << ",\"unresolved\":" << unresolved
+     << ",\"wrong_plaintext_releases\":" << wrong_plaintext_releases
+     << ",\"cross_label_writes\":" << cross_label_writes
+     << ",\"partial_writes\":" << partial_writes
+     << ",\"watchdog_fires\":" << watchdog_fires
+     << ",\"recoveries\":" << recoveries
+     << ",\"ring_resets\":" << ring_resets
+     << ",\"ring_faults\":" << ring_faults
+     << ",\"corrupt_completions\":" << corrupt_completions
+     << ",\"duplicate_completions\":" << duplicate_completions
+     << ",\"ring\":" << ring.toJson() << "}";
+  return os.str();
+}
+
+RingCampaignReport& RingCampaignReport::operator+=(
+    const RingCampaignReport& o) {
+  descriptors += o.descriptors;
+  completed_ok += o.completed_ok;
+  refused += o.refused;
+  unresolved += o.unresolved;
+  wrong_plaintext_releases += o.wrong_plaintext_releases;
+  cross_label_writes += o.cross_label_writes;
+  partial_writes += o.partial_writes;
+  watchdog_fires += o.watchdog_fires;
+  recoveries += o.recoveries;
+  ring_resets += o.ring_resets;
+  ring_faults += o.ring_faults;
+  corrupt_completions += o.corrupt_completions;
+  duplicate_completions += o.duplicate_completions;
+  ring += o.ring;
+  return *this;
 }
 
 // --- Config tampering ----------------------------------------------------------

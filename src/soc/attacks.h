@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "accel/types.h"
+#include "soc/dma.h"
 #include "soc/metrics.h"
 
 namespace aesifc::soc {
@@ -98,6 +99,50 @@ struct DmaTheftResult {
 };
 
 DmaTheftResult runDmaTheftAttack(accel::SecurityMode mode);
+
+// --- DMA descriptor-ring fault campaign ----------------------------------------
+// Seeded robustness campaign against the descriptor-ring data path: a
+// tenant streams scatter-gather transfers through a DmaRingEngine while a
+// FaultInjector flips bits in the descriptor/completion rings and perturbs
+// the host interface, optionally interleaved with scripted adversarial
+// scenarios (torn ownership, chain loops, OOB next-pointers, a TOCTOU
+// destination rewrite, completion-queue overflow, a stalled ring, stale
+// generations after a ring reset). Two independent oracles judge every
+// transfer: an Ok completion whose destination bytes differ from the
+// software-computed golden is a wrong-plaintext release, and any byte that
+// changes in another tenant's pages is a cross-label write. The hardened
+// engine must end every run with both counters at zero; the unhardened
+// engine demonstrably does not.
+struct RingCampaignConfig {
+  std::uint64_t seed = 1;
+  unsigned descriptors = 48;      // transfers pushed through the ring
+  double fault_rate = 0.02;       // per-cycle host/ring fault probability
+  bool hardened = true;           // hardened ring engine vs conventional
+  bool scripted_scenarios = true; // deterministic adversarial interleave
+  std::uint64_t watchdog_cycles = 512;  // ring watchdog (kept tight for pace)
+};
+
+struct RingCampaignReport {
+  unsigned descriptors = 0;       // transfers submitted
+  std::uint64_t completed_ok = 0; // resolved Ok, destination verified
+  std::uint64_t refused = 0;      // resolved with a typed DmaError
+  std::uint64_t unresolved = 0;   // future never resolved (ring reset used)
+  std::uint64_t wrong_plaintext_releases = 0;  // Ok but dst != golden
+  std::uint64_t cross_label_writes = 0;  // engine stat + victim-page diffs
+  std::uint64_t partial_writes = 0;      // refused/unresolved but dst moved
+  std::uint64_t watchdog_fires = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t ring_resets = 0;
+  std::uint64_t ring_faults = 0;  // bit flips landed in ring memory
+  std::uint64_t corrupt_completions = 0;   // driver checksum rejections
+  std::uint64_t duplicate_completions = 0; // exactly-once dedups
+  DmaRingStats ring;              // engine-side counters
+
+  std::string toJson() const;
+  RingCampaignReport& operator+=(const RingCampaignReport& o);
+};
+
+RingCampaignReport runRingFaultCampaign(const RingCampaignConfig& cfg = {});
 
 // --- Section 3.2.4: configuration tampering -----------------------------------
 struct ConfigTamperResult {

@@ -148,6 +148,14 @@ void FaultInjector::injectHw() {
   applyRecord(rec);
 }
 
+void FaultInjector::attachRingMemory(HostMemory* mem,
+                                     std::vector<RingRange> desc_rings,
+                                     std::vector<RingRange> comp_rings) {
+  ring_mem_ = mem;
+  desc_rings_ = std::move(desc_rings);
+  comp_rings_ = std::move(comp_rings);
+}
+
 void FaultInjector::injectHost() {
   if (users_.empty()) return;
   const unsigned user =
@@ -155,10 +163,28 @@ void FaultInjector::injectHost() {
   FaultRecord rec;
   rec.cycle = acc_.cycle();
   rec.index = user;
-  switch (rng_.below(4)) {
+  const bool rings =
+      ring_mem_ != nullptr && (!desc_rings_.empty() || !comp_rings_.empty());
+  switch (rng_.below(rings ? 6 : 4)) {
     case 0: rec.site = FaultSite::HostDrop; break;
     case 1: rec.site = FaultSite::HostDuplicate; break;
     case 2: rec.site = FaultSite::HostStuckReceiver; break;
+    case 4:
+    case 5: {
+      // One bit somewhere in a descriptor or completion ring. index packs
+      // range << 16 | slot; bit is the offset inside the slot's record.
+      const bool desc = comp_rings_.empty() ||
+                        (!desc_rings_.empty() && rng_.chance(0.5));
+      const auto& ranges = desc ? desc_rings_ : comp_rings_;
+      rec.site = desc ? FaultSite::RingDescriptor : FaultSite::RingCompletion;
+      const unsigned range =
+          static_cast<unsigned>(rng_.below(ranges.size()));
+      const RingRange& rr = ranges[range];
+      rec.index = (range << 16) |
+                  static_cast<unsigned>(rng_.below(rr.slots));
+      rec.bit = static_cast<unsigned>(rng_.below(rr.stride * 8));
+      break;
+    }
     default:
       rec.site = FaultSite::HostSpuriousSubmit;
       // Shape of the spurious request, encoded so a replay rebuilds it.
@@ -216,6 +242,29 @@ void FaultInjector::applyRecord(FaultRecord rec) {
       ++host_spurious_;
       break;
     }
+    case FaultSite::RingDescriptor:
+    case FaultSite::RingCompletion: {
+      const bool desc = rec.site == FaultSite::RingDescriptor;
+      const auto& ranges = desc ? desc_rings_ : comp_rings_;
+      const unsigned range = rec.index >> 16;
+      const unsigned slot = rec.index & 0xffff;
+      rec.applied = false;
+      if (ring_mem_ != nullptr && range < ranges.size() &&
+          slot < ranges[range].slots && rec.bit < ranges[range].stride * 8) {
+        const std::size_t addr = ranges[range].base +
+                                 static_cast<std::size_t>(slot) *
+                                     ranges[range].stride +
+                                 rec.bit / 8;
+        if (addr < ring_mem_->size()) {
+          ring_mem_->write8(
+              addr, ring_mem_->read8(addr) ^
+                        static_cast<std::uint8_t>(1u << (rec.bit % 8)));
+          rec.applied = true;
+          ++(desc ? host_ring_desc_ : host_ring_comp_);
+        }
+      }
+      break;
+    }
   }
   ++injected_;
   records_.push_back(rec);
@@ -237,6 +286,8 @@ FaultCampaignReport FaultInjector::report() const {
   r.host_duplicates = host_duplicates_;
   r.host_stuck = host_stuck_;
   r.host_spurious = host_spurious_;
+  r.host_ring_desc = host_ring_desc_;
+  r.host_ring_comp = host_ring_comp_;
   for (const auto& rec : records_) {
     const auto s = static_cast<unsigned>(rec.site);
     if (s < accel::kHwFaultSites) {
@@ -261,7 +312,9 @@ std::string FaultCampaignReport::summary() const {
      << " hardware upsets applied, " << detected << " detected ("
      << recovered << " recovered, " << aborted << " blocks aborted), host: "
      << host_drops << " drops / " << host_duplicates << " duplicates / "
-     << host_stuck << " stuck-receiver / " << host_spurious << " spurious\n";
+     << host_stuck << " stuck-receiver / " << host_spurious << " spurious / "
+     << host_ring_desc << " ring-desc flips / " << host_ring_comp
+     << " ring-comp flips\n";
   for (unsigned s = 0; s < accel::kHwFaultSites; ++s) {
     os << "  " << toString(static_cast<FaultSite>(s)) << ": injected "
        << injected_by_site[s] << ", applied " << applied_by_site[s]
@@ -277,7 +330,9 @@ std::string FaultCampaignReport::toJson() const {
      << ",\"detected\":" << detected << ",\"recovered\":" << recovered
      << ",\"aborted\":" << aborted << ",\"host\":{\"drops\":" << host_drops
      << ",\"duplicates\":" << host_duplicates << ",\"stuck\":" << host_stuck
-     << ",\"spurious\":" << host_spurious << "},\"sites\":[";
+     << ",\"spurious\":" << host_spurious
+     << ",\"ring_desc\":" << host_ring_desc
+     << ",\"ring_comp\":" << host_ring_comp << "},\"sites\":[";
   for (unsigned s = 0; s < accel::kHwFaultSites; ++s) {
     if (s) os << ",";
     os << "{\"site\":\"" << toString(static_cast<FaultSite>(s))

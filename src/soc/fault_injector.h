@@ -22,8 +22,17 @@
 
 #include "accel/accelerator.h"
 #include "common/rng.h"
+#include "soc/dma.h"
 
 namespace aesifc::soc {
+
+// One descriptor or completion ring the injector may corrupt: `slots`
+// records of `stride` bytes starting at `base` in attached host memory.
+struct RingRange {
+  std::size_t base = 0;
+  unsigned slots = 0;
+  unsigned stride = kDescBytes;
+};
 
 struct FaultCampaignConfig {
   std::uint64_t seed = 1;
@@ -69,6 +78,8 @@ struct FaultCampaignReport {
   std::uint64_t host_duplicates = 0;
   std::uint64_t host_stuck = 0;
   std::uint64_t host_spurious = 0;
+  std::uint64_t host_ring_desc = 0;  // bit flips landed in descriptor rings
+  std::uint64_t host_ring_comp = 0;  // bit flips landed in completion rings
   std::uint64_t detected = 0;   // accelerator parity detections
   std::uint64_t recovered = 0;  // scrubbed with no request casualties
   std::uint64_t aborted = 0;    // blocks squashed fail-secure
@@ -95,6 +106,15 @@ class FaultInjector {
   // `stuck_cycles` still comes from `cfg`.
   FaultInjector(accel::AesAccelerator& acc, FaultCampaignConfig cfg,
                 std::vector<unsigned> users, std::vector<FaultRecord> trace);
+
+  // Arm the RingDescriptor/RingCompletion sites: bit flips land in the
+  // given rings of `mem` (the DMA descriptor-ring campaigns attach the
+  // rings they built). Without this call those sites never roll, and a
+  // replayed trace containing them records applied=false.
+  // FaultRecord encoding for ring sites: index = range << 16 | slot,
+  // bit = bit offset within the slot's record.
+  void attachRingMemory(HostMemory* mem, std::vector<RingRange> desc_rings,
+                        std::vector<RingRange> comp_rings);
 
   // Roll for (at most) one fault this cycle — or, in replay mode, land
   // every trace event recorded for this cycle. Call before acc.tick().
@@ -125,7 +145,12 @@ class FaultInjector {
   std::uint64_t host_duplicates_ = 0;
   std::uint64_t host_stuck_ = 0;
   std::uint64_t host_spurious_ = 0;
+  std::uint64_t host_ring_desc_ = 0;
+  std::uint64_t host_ring_comp_ = 0;
   std::uint64_t spurious_seq_ = 0;
+  HostMemory* ring_mem_ = nullptr;
+  std::vector<RingRange> desc_rings_;
+  std::vector<RingRange> comp_rings_;
   // (user, release_cycle) for receivers currently forced not-ready.
   std::vector<std::pair<unsigned, std::uint64_t>> stuck_;
   bool replay_ = false;

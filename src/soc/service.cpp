@@ -53,7 +53,10 @@ std::string ServiceStats::toJson() const {
      << ",\"aead_completed_hw\":" << aead_completed_hw
      << ",\"aead_completed_fallback\":" << aead_completed_fallback
      << ",\"aead_auth_failed\":" << aead_auth_failed
-     << ",\"wrong_key_uses\":" << wrong_key_uses << "}";
+     << ",\"wrong_key_uses\":" << wrong_key_uses
+     << ",\"dma_ring_runs\":" << dma_ring_runs
+     << ",\"dma_ring_blocks\":" << dma_ring_blocks
+     << ",\"dma_ring_fallbacks\":" << dma_ring_fallbacks << "}";
   return os.str();
 }
 
@@ -80,12 +83,55 @@ ServiceStats& ServiceStats::operator+=(const ServiceStats& o) {
   aead_completed_fallback += o.aead_completed_fallback;
   aead_auth_failed += o.aead_auth_failed;
   wrong_key_uses += o.wrong_key_uses;
+  dma_ring_runs += o.dma_ring_runs;
+  dma_ring_blocks += o.dma_ring_blocks;
+  dma_ring_fallbacks += o.dma_ring_fallbacks;
   return *this;
 }
 
+namespace {
+// Per-tenant slice of the service's DMA arena: descriptor ring, chain
+// arena, completion ring, then src/dst staging. 32 KiB per tenant in a
+// 1 MiB arena caps the ring path at 32 tenants; later tenants simply stay
+// on the MMIO path.
+constexpr std::size_t kRingArenaBytes = 1u << 20;
+constexpr std::size_t kRingTenantSpan = 0x8000;
+constexpr std::size_t kRingStagingSrc = 0x1000;
+constexpr std::size_t kRingStagingDst = 0x4000;
+constexpr std::size_t kRingStagingMax = kRingStagingDst - kRingStagingSrc;
+}  // namespace
+
 AccelService::AccelService(accel::AesAccelerator& acc, ServiceConfig cfg)
     : acc_{acc}, cfg_{cfg}, monitor_{cfg.health},
-      window_start_cycle_{acc.cycle()} {}
+      window_start_cycle_{acc.cycle()} {
+  if (cfg_.use_dma_ring) {
+    ring_mem_ = std::make_unique<HostMemory>(kRingArenaBytes);
+    ring_eng_ = std::make_unique<DmaRingEngine>(acc_, *ring_mem_,
+                                                /*hardened=*/true);
+  }
+}
+
+void AccelService::setupTenantRing(unsigned tenant) {
+  ring_drvs_.push_back(nullptr);
+  if (!ring_eng_) return;
+  const std::size_t base = kRingTenantSpan * tenant;
+  if (base + kRingTenantSpan > ring_mem_->size()) return;  // arena exhausted
+  // The whole slice — rings and staging — carries the tenant's authority,
+  // so the engine's ring-page and src/dst page checks bind the channel to
+  // this tenant exactly like the MMIO port binds a BlockRequest.
+  ring_mem_->setPageLabel(base, kRingTenantSpan,
+                          acc_.principal(tenants_[tenant].user).authority);
+  DmaRingConfig rc;
+  rc.desc_base = base;
+  rc.desc_slots = 8;
+  rc.chain_base = base + 0x200;
+  rc.chain_slots = 8;
+  rc.comp_base = base + 0x400;
+  rc.comp_slots = 8;
+  const unsigned ch = ring_eng_->addChannel(rc);
+  ring_drvs_.back() =
+      std::make_unique<DmaRingDriver>(*ring_eng_, *ring_mem_, ch, rc);
+}
 
 unsigned AccelService::addTenant(const TenantSpec& spec) {
   const auto t = tryAddTenant(spec);
@@ -111,6 +157,7 @@ std::optional<unsigned> AccelService::tryAddTenant(const TenantSpec& spec) {
   aead_completions_.emplace_back();
   tenant_active_.push_back(1);
   completed_per_tenant_.push_back(0);
+  setupTenantRing(t);
   return t;
 }
 
@@ -520,8 +567,75 @@ void AccelService::serveOne(unsigned tenant, Request req) {
   }
 }
 
+bool AccelService::serveBatchRing(unsigned tenant,
+                                  const std::vector<Request>& run) {
+  if (tenant >= ring_drvs_.size() || !ring_drvs_[tenant]) return false;
+  if (run.size() < cfg_.dma_ring_min_run) return false;
+  const std::size_t len = run.size() * 16;
+  if (len > kRingStagingMax) return false;
+  const TenantSpec& spec = tenants_[tenant];
+  auto& drv = *ring_drvs_[tenant];
+  const std::size_t base = kRingTenantSpan * tenant;
+  const std::size_t src = base + kRingStagingSrc;
+  const std::size_t dst = base + kRingStagingDst;
+
+  std::vector<std::uint8_t> staged(len);
+  for (std::size_t i = 0; i < run.size(); ++i)
+    std::copy(run[i].data.begin(), run[i].data.end(),
+              staged.begin() + 16 * i);
+  ring_mem_->writeBytes(src, staged);
+
+  DmaDescriptor d;
+  d.user = spec.user;
+  d.key_slot = spec.key_slot;
+  d.mode = run.front().decrypt ? DmaMode::EcbDecrypt : DmaMode::EcbEncrypt;
+  d.src = src;
+  d.dst = dst;
+  d.len = len;
+  const auto seq = drv.submitChain({d});
+  if (!seq) {
+    ++stats_.dma_ring_fallbacks;
+    return false;
+  }
+  // 1 block/cycle plus pipeline depth, with generous headroom for fault
+  // retries and a watchdog recovery; a transfer that outlives this budget
+  // is abandoned through a ring reset and re-served over MMIO.
+  const std::uint64_t budget = 16 * run.size() + 16384;
+  const DmaCompletion* c = drv.wait(*seq, budget);
+  if (c == nullptr) {
+    ring_eng_->ringReset(drv.channel());
+    drv.resync();
+    ++stats_.dma_ring_fallbacks;
+    return false;
+  }
+  if (c->status == DmaError::None) {
+    const auto out = ring_mem_->readBytes(dst, len);
+    ++stats_.dma_ring_runs;
+    stats_.dma_ring_blocks += run.size();
+    stats_.completed_hw += run.size();
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      aes::Block b;
+      std::copy(out.begin() + 16 * i, out.begin() + 16 * (i + 1), b.begin());
+      complete(tenant, run[i], CompletionStatus::Ok, ServedBy::Hardware, b);
+    }
+    return true;
+  }
+  if (c->status == DmaError::OutputSuppressed) {
+    // Same uniform-verdict argument as the MMIO batch path: suppression is
+    // a function of the tenant's label, identical for every block.
+    for (const auto& req : run) {
+      complete(tenant, req, CompletionStatus::Suppressed, ServedBy::Hardware,
+               aes::Block{});
+    }
+    return true;
+  }
+  ++stats_.dma_ring_fallbacks;  // typed refusal: re-serve over MMIO
+  return false;
+}
+
 void AccelService::serveBatchHardware(unsigned tenant,
                                       std::vector<Request> run) {
+  if (serveBatchRing(tenant, run)) return;
   auto& session = sessions_[tenant];
   std::vector<aes::Block> blocks(run.size());
   for (std::size_t i = 0; i < run.size(); ++i) blocks[i] = run[i].data;

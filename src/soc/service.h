@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "accel/driver.h"
 #include "aes/gcm.h"
 #include "aes/key_schedule.h"
+#include "soc/dma.h"
 #include "soc/health.h"
 #include "soc/metrics.h"
 
@@ -83,6 +85,17 @@ struct ServiceConfig {
   accel::SessionOptions canary_opts{.timeout_cycles = 512,
                                     .max_retries = 1,
                                     .backoff_cycles = 8};
+  // Descriptor-ring data path: when enabled, a same-direction run of at
+  // least `dma_ring_min_run` blocks is staged into the tenant's tagged
+  // host-memory pages and moved through the hardened DmaRingEngine as one
+  // scatter-gather ECB descriptor, instead of one MMIO submit per block.
+  // Every tenant gets its own ring channel and staging pages labeled with
+  // its authority, so the ring path is under exactly the same label
+  // enforcement as the MMIO path. A ring refusal or stall falls back to the
+  // session batch path (counted in dma_ring_fallbacks); defaults keep the
+  // ring off so existing deployments are byte-for-byte unchanged.
+  bool use_dma_ring = false;
+  unsigned dma_ring_min_run = 16;
 };
 
 // One tenant as the service sees it: an accelerator principal plus the key
@@ -179,6 +192,10 @@ struct ServiceStats {
   // that this stays 0: migration drains and deactivates before it zeroizes,
   // so no request ever spans the key handover.
   std::uint64_t wrong_key_uses = 0;
+  // Descriptor-ring data path (ServiceConfig::use_dma_ring).
+  std::uint64_t dma_ring_runs = 0;    // runs moved as ring descriptors
+  std::uint64_t dma_ring_blocks = 0;  // blocks those runs carried
+  std::uint64_t dma_ring_fallbacks = 0;  // ring refusals re-served via MMIO
 
   std::string toJson() const;
 
@@ -300,6 +317,10 @@ class AccelService {
   // everything else through the single-request path. Returns the number of
   // requests consumed from the queue.
   unsigned serveRun(unsigned tenant, unsigned max_run);
+  // Try the descriptor-ring path for a same-direction run; true when the
+  // run was fully resolved (Ok or Suppressed), false to fall back.
+  bool serveBatchRing(unsigned tenant, const std::vector<Request>& run);
+  void setupTenantRing(unsigned tenant);
   void serveBatchHardware(unsigned tenant, std::vector<Request> run);
   void serveOne(unsigned tenant, Request req);
   void serveHardware(unsigned tenant, Request req);
@@ -330,6 +351,11 @@ class AccelService {
   std::vector<char> tenant_active_;  // 0 after deactivateTenant
   std::vector<std::uint64_t> completed_per_tenant_;
   ServiceStats stats_;
+  // Descriptor-ring data path (nullptr members when use_dma_ring is off or
+  // the tenant arena is exhausted — those tenants use the MMIO path).
+  std::unique_ptr<HostMemory> ring_mem_;
+  std::unique_ptr<DmaRingEngine> ring_eng_;
+  std::vector<std::unique_ptr<DmaRingDriver>> ring_drvs_;
   std::uint64_t next_ticket_ = 1;
   std::uint64_t window_start_cycle_ = 0;
   accel::SessionTelemetry window_base_;  // telemetry at last window sample

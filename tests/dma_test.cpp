@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "accel/driver.h"
 #include "aes/modes.h"
 #include "common/rng.h"
@@ -35,6 +37,46 @@ TEST(HostMemory, PageLabelsCoverRanges) {
   EXPECT_EQ(mem.pageLabel(3 * kPageBytes), Label::publicTrusted());
 }
 
+TEST(HostMemory, PageLabelStraddlesBoundaryFromMidPage) {
+  // A short span that starts mid-page and crosses into the next page must
+  // label BOTH pages it touches.
+  HostMemory mem{4 * kPageBytes};
+  const Label alice = Principal::user("alice", 1).authority;
+  mem.setPageLabel(kPageBytes - 8, 16, alice);  // 8 bytes each side
+  EXPECT_EQ(mem.pageLabel(0), alice);
+  EXPECT_EQ(mem.pageLabel(kPageBytes), alice);
+  EXPECT_EQ(mem.pageLabel(2 * kPageBytes), Label::publicTrusted());
+}
+
+TEST(HostMemory, ZeroLengthSpanLabelsNothing) {
+  HostMemory mem{2 * kPageBytes};
+  const Label alice = Principal::user("alice", 1).authority;
+  mem.setPageLabel(10, 0, alice);  // empty span: no page touched
+  EXPECT_EQ(mem.pageLabel(0), Label::publicTrusted());
+  // Even at an address past the end of memory, an empty span is a no-op
+  // rather than an error or a label change.
+  EXPECT_NO_THROW(mem.setPageLabel(100 * kPageBytes, 0, alice));
+}
+
+TEST(HostMemory, SetPageLabelRangeErrorsAreAtomic) {
+  HostMemory mem{4 * kPageBytes};
+  const Label alice = Principal::user("alice", 1).authority;
+  // Span runs past the end of memory: must throw and label NO page, even
+  // though its first pages are in range (atomic failure).
+  EXPECT_THROW(mem.setPageLabel(kPageBytes, 10 * kPageBytes, alice),
+               std::out_of_range);
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(mem.pageLabel(p * kPageBytes), Label::publicTrusted());
+  }
+  // addr + len overflowing size_t must not wrap around into "in range".
+  EXPECT_THROW(
+      mem.setPageLabel(8, std::numeric_limits<std::size_t>::max() - 2, alice),
+      std::out_of_range);
+  EXPECT_THROW(mem.setPageLabel(100 * kPageBytes, 1, alice),
+               std::out_of_range);
+  EXPECT_EQ(mem.pageLabel(0), Label::publicTrusted());
+}
+
 TEST(HostMemory, ByteAccess) {
   HostMemory mem{1024};
   mem.writeBytes(100, {1, 2, 3});
@@ -66,7 +108,7 @@ TEST_P(DmaFixture, EcbDescriptorMatchesSoftware) {
   d.dst = 0x800;
   d.len = 512;
   const auto r = dma.run(d);
-  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.ok) << toString(r.error);
   EXPECT_EQ(r.blocks, 32u);
   const auto ek = aes::expandKey(key, aes::KeySize::Aes128);
   EXPECT_EQ(mem.readBytes(0x800, 512), aes::ecbEncrypt(msg, ek));
@@ -125,11 +167,85 @@ TEST_P(DmaFixture, RejectsBadDescriptors) {
   DmaDescriptor d;
   d.user = u;
   d.len = 0;
-  EXPECT_EQ(dma.run(d).error, "bad-range");
+  EXPECT_EQ(dma.run(d).error, DmaError::BadRange);
   d.len = 2048;
-  EXPECT_EQ(dma.run(d).error, "bad-range");
+  EXPECT_EQ(dma.run(d).error, DmaError::BadRange);
   d.len = 24;  // unaligned for ECB
-  EXPECT_EQ(dma.run(d).error, "unaligned-length");
+  EXPECT_EQ(dma.run(d).error, DmaError::UnalignedLength);
+  d.len = 32;
+  d.user = 99;  // no such principal
+  EXPECT_EQ(dma.run(d).error, DmaError::BadDescriptor);
+  d.user = u;
+  d.key_slot = 999;
+  EXPECT_EQ(dma.run(d).error, DmaError::BadDescriptor);
+}
+
+TEST_P(DmaFixture, RefusalsNeverPartiallyWrite) {
+  AesAccelerator acc{cfg()};
+  const unsigned u = acc.addUser(Principal::user("alice", 1));
+  Rng rng{21};
+  std::vector<std::uint8_t> key(16);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+  ASSERT_TRUE(accel::loadKey128(acc, u, 1, 0, key, Conf::category(1)));
+
+  HostMemory mem{4 * 1024};
+  mem.setPageLabel(0, 4 * 1024, acc.principal(u).authority);
+  std::vector<std::uint8_t> msg(128);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+  mem.writeBytes(0x100, msg);
+  const auto snapshot = mem.readBytes(0, mem.size());
+
+  DmaEngine dma{acc, mem};
+  DmaDescriptor d;
+  d.user = u;
+  d.key_slot = 1;
+  d.mode = DmaMode::EcbEncrypt;
+  d.src = 0x100;
+  d.dst = 0x140;  // overlaps [0x100, 0x180) but is not exactly in-place
+  d.len = 128;
+  EXPECT_EQ(dma.run(d).error, DmaError::OverlapDenied);
+  EXPECT_EQ(mem.readBytes(0, mem.size()), snapshot);
+
+  d.dst = 0x300;
+  d.len = 120;  // unaligned for ECB
+  EXPECT_EQ(dma.run(d).error, DmaError::UnalignedLength);
+  EXPECT_EQ(mem.readBytes(0, mem.size()), snapshot);
+
+  d.len = 128;
+  d.dst = mem.size() - 64;  // runs off the end of memory
+  EXPECT_EQ(dma.run(d).error, DmaError::BadRange);
+  d.dst = 0x300;
+  d.src = std::numeric_limits<std::size_t>::max() - 32;  // addr+len wraps
+  EXPECT_EQ(dma.run(d).error, DmaError::BadRange);
+  EXPECT_EQ(mem.readBytes(0, mem.size()), snapshot);
+
+  // Exact in-place (src == dst) stays allowed — buffered writeback makes
+  // it well-defined (EcbDescriptorMatchesSoftware decrypts in place).
+  d.src = 0x100;
+  d.dst = 0x100;
+  EXPECT_TRUE(dma.run(d).ok);
+}
+
+TEST_P(DmaFixture, CtrOverlapRefusedPartialAllowedExact) {
+  AesAccelerator acc{cfg()};
+  const unsigned u = acc.addUser(Principal::user("alice", 1));
+  Rng rng{22};
+  std::vector<std::uint8_t> key(16);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+  ASSERT_TRUE(accel::loadKey128(acc, u, 1, 0, key, Conf::category(1)));
+  HostMemory mem{2 * 1024};
+  mem.setPageLabel(0, 2 * 1024, acc.principal(u).authority);
+  DmaEngine dma{acc, mem};
+  DmaDescriptor d;
+  d.user = u;
+  d.key_slot = 1;
+  d.mode = DmaMode::CtrCrypt;
+  d.src = 0x000;
+  d.dst = 0x010;
+  d.len = 100;  // CTR tolerates unaligned length, not partial overlap
+  EXPECT_EQ(dma.run(d).error, DmaError::OverlapDenied);
+  d.dst = 0x000;
+  EXPECT_TRUE(dma.run(d).ok);
 }
 
 TEST_P(DmaFixture, StreamsAtPipelineRate) {
